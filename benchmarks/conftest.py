@@ -1,0 +1,35 @@
+"""Benchmark helpers: paper-vs-measured reporting.
+
+Every benchmark regenerates one table or figure from the paper's
+evaluation (§3) and prints the series it produces next to the paper's
+anchor numbers.  Absolute values come from a simulator, not the authors'
+2006 testbed — the assertions check the *shape* claims (who wins, what
+grows, rough factors), per DESIGN.md.
+
+Run:  pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+def report(title, headers, rows, notes=()):
+    """Print one paper-vs-measured block (shown with pytest -s / summary)."""
+    from repro.experiments.common import format_table
+
+    print()
+    print("=" * 72)
+    print(format_table(headers, rows, title=title))
+    for note in notes:
+        print("  note: {}".format(note))
+    print("=" * 72)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benched callable exactly once (experiments are long)."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return run

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Quickstart: monitor a client/server application with SysProf.
+
+Builds a three-node simulated cluster (client, server, management), runs
+a small request/response workload, and uses SysProf to answer the
+paper's motivating question: *where does each request spend its time?* —
+without touching the application's code.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Cluster, SysProf, SysProfConfig
+
+
+def server(ctx):
+    """A black-box server: parse (user CPU), then reply.  SysProf never
+    sees this code — it watches the kernel."""
+    lsock = yield from ctx.listen(8080)
+    sock = yield from ctx.accept(lsock)
+    while True:
+        request = yield from ctx.recv_message(sock)
+        if request is None:
+            break
+        yield from ctx.compute(0.0025)  # 2.5 ms of application work
+        yield from ctx.send_message(sock, 4000, kind="reply")
+
+
+def client(ctx):
+    sock = yield from ctx.connect("server", 8080)
+    for index in range(20):
+        yield from ctx.send_message(sock, 16000, kind="api-call")
+        yield from ctx.recv_message(sock)
+        yield from ctx.sleep(0.01)
+    yield from ctx.close(sock)
+
+
+def main():
+    cluster = Cluster(seed=1)
+    cluster.add_node("client")
+    cluster.add_node("server")
+    cluster.add_node("mgmt")
+
+    sysprof = SysProf(cluster, SysProfConfig(eviction_interval=0.1))
+    sysprof.install(monitored=["server"], gpa_node="mgmt")
+    sysprof.start()
+
+    cluster.node("server").spawn("api-server", server)
+    cluster.node("client").spawn("load", client)
+    cluster.run(until=2.0)
+    sysprof.flush()
+
+    print("== per-interaction view (last 5, from the server's LPA window) ==")
+    for record in sysprof.local_window("server")[-5:]:
+        print(
+            "  #{id}: total {total:.3f} ms | kernel-wait {wait:.3f} ms | "
+            "user {user:.3f} ms | server={name}".format(
+                id=record["interaction_id"],
+                total=record["total_latency"] * 1e3,
+                wait=record["kernel_wait"] * 1e3,
+                user=record["user_time"] * 1e3,
+                name=record["server_name"],
+            )
+        )
+
+    print("\n== aggregate view (GPA on the management node) ==")
+    summary = sysprof.gpa.node_summary("server")
+    for key, value in sorted(summary.items()):
+        if isinstance(value, float):
+            print("  {:>18}: {:.4f} ms".format(key, value * 1e3))
+        else:
+            print("  {:>18}: {}".format(key, value))
+
+    print("\n== /proc export on the server node ==")
+    print(cluster.node("server").kernel.procfs.read("/proc/sysprof/interaction-lpa"))
+
+
+if __name__ == "__main__":
+    main()

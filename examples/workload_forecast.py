@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Workload prediction from GPA dumps (paper §2: the GPA "periodically
+dumps its information onto local disk, which can be used later for
+purposes of auditing, workload prediction, and system modeling").
+
+Monitors a running service, dumps the GPA state to disk, then — fully
+offline — fits arrival/service models per request class and answers:
+how much headroom does the server have, and at what request rate does
+the latency SLA break?
+
+Run:  python examples/workload_forecast.py
+"""
+
+import os
+import tempfile
+
+from repro import Cluster, SysProf, SysProfConfig
+from repro.analysis import (
+    capacity_at_latency,
+    fit_class_models,
+    load_dump,
+    mg1_response_time,
+    utilization_forecast,
+)
+
+
+def server(ctx):
+    lsock = yield from ctx.listen(8080)
+    sock = yield from ctx.accept(lsock)
+    while True:
+        request = yield from ctx.recv_message(sock)
+        if request is None:
+            break
+        meta = request.meta or {}
+        yield from ctx.compute(meta.get("cpu", 0.002))
+        yield from ctx.send_message(sock, 1500, kind=request.kind)
+
+
+def client(ctx, rng):
+    sock = yield from ctx.connect("server", 8080)
+    end = ctx.now + 5.0
+    while ctx.now < end:
+        yield from ctx.sleep(rng.expovariate(60.0))
+        if rng.random() < 0.7:
+            kind, cpu, size = "lookup", 0.0015, 900
+        else:
+            kind, cpu, size = "update", 0.0045, 2500
+        yield from ctx.send_message(sock, size, kind=kind, meta={"cpu": cpu})
+        yield from ctx.recv_message(sock)
+    yield from ctx.close(sock)
+
+
+def main():
+    cluster = Cluster(seed=8)
+    cluster.add_node("client")
+    cluster.add_node("server")
+    cluster.add_node("mgmt")
+    sysprof = SysProf(cluster, SysProfConfig(eviction_interval=0.1))
+    sysprof.install(monitored=["server"], gpa_node="mgmt")
+    sysprof.start()
+
+    cluster.node("server").spawn("svc", server)
+    cluster.node("client").spawn(
+        "load", client, cluster.streams.stream("forecast-client")
+    )
+    cluster.run(until=6.0)
+    sysprof.flush()
+
+    dump_path = os.path.join(tempfile.gettempdir(), "sysprof-gpa-dump.jsonl")
+    if os.path.exists(dump_path):
+        os.remove(dump_path)
+    sysprof.gpa.dump(dump_path)
+    print("GPA state dumped to {}\n".format(dump_path))
+
+    # ---- everything below is offline: only the dump file is used ----
+    records = load_dump(dump_path)
+    models = fit_class_models(records["interaction"])
+    print("fitted per-class models (from {} interaction records):".format(
+        len(records["interaction"])))
+    for name, (arrival, service) in sorted(models.items()):
+        poisson = ", Poisson-like" if arrival.looks_poisson else ""
+        print("  {:8s} arrivals: {:6.1f}/s (cv {:.2f}{})".format(
+            name, arrival.rate, arrival.cv, poisson))
+        print("           service: mean {:.2f} ms, p95 {:.2f} ms, cv {:.2f}".format(
+            service.mean * 1e3, service.p95 * 1e3, service.cv))
+
+    demand, utilization = utilization_forecast(models)
+    print("\naggregate CPU demand: {:.3f} cores -> utilization {:.0%}".format(
+        demand, utilization))
+
+    for name, (arrival, service) in sorted(models.items()):
+        sla = 0.02
+        now_latency = mg1_response_time(arrival.rate, service)
+        max_rate = capacity_at_latency(service, sla)
+        print(
+            "  {:8s} current M/G/1 latency ~{:.2f} ms; rate sustaining a "
+            "{:.0f} ms SLA: ~{:.0f}/s (headroom {:+.0f}%)".format(
+                name, now_latency * 1e3, sla * 1e3, max_rate,
+                100.0 * (max_rate - arrival.rate) / arrival.rate,
+            )
+        )
+
+
+if __name__ == "__main__":
+    main()

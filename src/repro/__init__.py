@@ -1,0 +1,55 @@
+"""SysProf reproduction: fine-grain online monitoring of distributed systems.
+
+Reproduction of Agarwala & Schwan, "SysProf: Online Distributed Behavior
+Diagnosis through Fine-grain System Monitoring" (ICDCS 2006), built on a
+deterministic discrete-event simulation of a Linux-like cluster.
+
+Quickstart::
+
+    from repro import Cluster, SysProf, SysProfConfig
+
+    cluster = Cluster(seed=1)
+    server = cluster.add_node("server")
+    client = cluster.add_node("client")
+    mgmt = cluster.add_node("mgmt")
+    # ... spawn application tasks on the nodes ...
+    sysprof = SysProf(cluster)
+    sysprof.install(monitored=["server"], gpa_node="mgmt")
+    sysprof.start()
+    cluster.run(until=10.0)
+    sysprof.flush()
+    print(sysprof.gpa.node_summary("server"))
+
+See ``examples/`` for complete programs and ``DESIGN.md`` for the system
+inventory and the paper-experiment index.
+"""
+
+from repro.cluster import Cluster, Node, NodeClock, synchronize
+from repro.core import (
+    CustomAnalyzer,
+    GlobalPerformanceAnalyzer,
+    InteractionLPA,
+    Kprof,
+    SysProf,
+    SysProfConfig,
+)
+from repro.ossim import CostModel
+from repro.sim import Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cluster",
+    "CostModel",
+    "CustomAnalyzer",
+    "GlobalPerformanceAnalyzer",
+    "InteractionLPA",
+    "Kprof",
+    "Node",
+    "NodeClock",
+    "Simulator",
+    "SysProf",
+    "SysProfConfig",
+    "__version__",
+    "synchronize",
+]

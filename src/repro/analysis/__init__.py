@@ -1,0 +1,41 @@
+"""Higher-level analysis over SysProf output: diagnosis, time series."""
+
+from repro.analysis.bottleneck import (
+    BottleneckReport,
+    NodeDiagnosis,
+    diagnose_node,
+    find_bottleneck,
+)
+from repro.analysis.modeling import (
+    ArrivalModel,
+    ServiceModel,
+    capacity_at_latency,
+    fit_class_models,
+    load_dump,
+    mg1_response_time,
+    utilization_forecast,
+)
+from repro.analysis.timeseries import (
+    ascii_plot,
+    bin_events,
+    moving_average,
+    rate_series,
+)
+
+__all__ = [
+    "ArrivalModel",
+    "BottleneckReport",
+    "NodeDiagnosis",
+    "ServiceModel",
+    "ascii_plot",
+    "bin_events",
+    "capacity_at_latency",
+    "diagnose_node",
+    "find_bottleneck",
+    "fit_class_models",
+    "load_dump",
+    "mg1_response_time",
+    "moving_average",
+    "rate_series",
+    "utilization_forecast",
+]

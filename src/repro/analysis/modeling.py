@@ -1,0 +1,150 @@
+"""Offline workload modeling from GPA dumps.
+
+The paper's GPA "periodically dumps its information onto local disk,
+which can be used later for purposes of auditing, workload prediction,
+and system modeling".  This module closes that loop: load a dump, fit
+arrival and service models per request class, and answer capacity
+questions with an M/G/1 approximation.
+"""
+
+import json
+import math
+from dataclasses import dataclass
+
+from repro.sim.stats import percentile
+
+
+def load_dump(path):
+    """Parse a GPA JSON-lines dump into {type: [records]}."""
+    records = {}
+    with open(path, "r", encoding="utf-8") as dump:
+        for line in dump:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            records.setdefault(record.get("type", "unknown"), []).append(record)
+    return records
+
+
+@dataclass
+class ArrivalModel:
+    """Fitted arrival process for one request class."""
+
+    count: int
+    span: float
+    rate: float
+    mean_interarrival: float
+    cv: float  # coefficient of variation; ~1 for Poisson
+
+    @classmethod
+    def fit(cls, timestamps):
+        timestamps = sorted(timestamps)
+        if len(timestamps) < 2:
+            raise ValueError("need at least two arrivals to fit a model")
+        gaps = [b - a for a, b in zip(timestamps, timestamps[1:])]
+        span = timestamps[-1] - timestamps[0]
+        mean_gap = sum(gaps) / len(gaps)
+        if mean_gap <= 0:
+            raise ValueError("arrivals are not strictly ordered in time")
+        variance = sum((gap - mean_gap) ** 2 for gap in gaps) / max(1, len(gaps) - 1)
+        return cls(
+            count=len(timestamps),
+            span=span,
+            rate=1.0 / mean_gap,
+            mean_interarrival=mean_gap,
+            cv=math.sqrt(variance) / mean_gap,
+        )
+
+    @property
+    def looks_poisson(self):
+        """Exponential interarrivals have cv == 1 (within sampling noise)."""
+        return 0.7 <= self.cv <= 1.3
+
+
+@dataclass
+class ServiceModel:
+    """Fitted per-request service demand (CPU actually consumed)."""
+
+    count: int
+    mean: float
+    cv: float
+    p50: float
+    p95: float
+    p99: float
+
+    @classmethod
+    def fit(cls, demands):
+        demands = [d for d in demands if d >= 0]
+        if not demands:
+            raise ValueError("no service demands to fit")
+        mean = sum(demands) / len(demands)
+        if len(demands) > 1 and mean > 0:
+            variance = sum((d - mean) ** 2 for d in demands) / (len(demands) - 1)
+            cv = math.sqrt(variance) / mean
+        else:
+            cv = 0.0
+        return cls(
+            count=len(demands),
+            mean=mean,
+            cv=cv,
+            p50=percentile(demands, 50),
+            p95=percentile(demands, 95),
+            p99=percentile(demands, 99),
+        )
+
+
+def fit_class_models(interactions, service_fields=("user_time", "kernel_cpu")):
+    """Per-request-class (ArrivalModel, ServiceModel) from interaction records."""
+    by_class = {}
+    for record in interactions:
+        by_class.setdefault(record["request_class"], []).append(record)
+    models = {}
+    for name, records in by_class.items():
+        if len(records) < 2:
+            continue
+        arrivals = [record["start_ts"] for record in records]
+        demands = [
+            sum(record[field] for field in service_fields) for record in records
+        ]
+        models[name] = (ArrivalModel.fit(arrivals), ServiceModel.fit(demands))
+    return models
+
+
+def mg1_response_time(rate, service):
+    """Pollaczek-Khinchine mean response time for an M/G/1 server.
+
+    ``service`` is a :class:`ServiceModel`.  Returns ``math.inf`` at or
+    past saturation.
+    """
+    rho = rate * service.mean
+    if rho >= 1.0:
+        return math.inf
+    wait = rho * service.mean * (1.0 + service.cv ** 2) / (2.0 * (1.0 - rho))
+    return service.mean + wait
+
+
+def capacity_at_latency(service, target_latency, precision=1e-3):
+    """Highest arrival rate keeping M/G/1 mean response <= target.
+
+    Binary search over rate in (0, 1/mean)."""
+    if target_latency <= service.mean:
+        return 0.0
+    low, high = 0.0, 1.0 / service.mean
+    while (high - low) / high > precision:
+        mid = (low + high) / 2.0
+        if mg1_response_time(mid, service) <= target_latency:
+            low = mid
+        else:
+            high = mid
+    return low
+
+
+def utilization_forecast(models, node_capacity=1.0):
+    """Aggregate CPU demand rate across classes vs available capacity.
+
+    Returns (demand, utilization fraction); >1 predicts overload."""
+    demand = sum(
+        arrival.rate * service.mean for arrival, service in models.values()
+    )
+    return demand, demand / node_capacity

@@ -1,0 +1,70 @@
+"""Small time-series helpers for throughput/latency plots."""
+
+
+def bin_events(timestamps, bin_width=1.0, t0=None, t1=None):
+    """Count events per bin: returns sorted [(bin_start, count)]."""
+    if bin_width <= 0:
+        raise ValueError("bin_width must be positive")
+    bins = {}
+    for ts in timestamps:
+        if t0 is not None and ts < t0:
+            continue
+        if t1 is not None and ts >= t1:
+            continue
+        start = int(ts / bin_width) * bin_width
+        bins[start] = bins.get(start, 0) + 1
+    return sorted(bins.items())
+
+
+def rate_series(timestamps, bin_width=1.0, t0=None, t1=None):
+    """Events/second per bin: [(bin_start, rate)]."""
+    return [
+        (start, count / bin_width)
+        for start, count in bin_events(timestamps, bin_width, t0, t1)
+    ]
+
+
+def moving_average(series, window=3):
+    """Centered moving average over [(x, y)] points."""
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    ys = [y for _, y in series]
+    smoothed = []
+    half = window // 2
+    for i, (x, _) in enumerate(series):
+        lo = max(0, i - half)
+        hi = min(len(ys), i + half + 1)
+        smoothed.append((x, sum(ys[lo:hi]) / (hi - lo)))
+    return smoothed
+
+
+def ascii_plot(series_map, width=60, height=12, title=None):
+    """Rough ASCII chart of {name: [(x, y)]} series (for reports/examples)."""
+    points = [pt for series in series_map.values() for pt in series]
+    if not points:
+        return "(no data)"
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = 0.0, max(ys) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    markers = "o+x*#@"
+    for index, (name, series) in enumerate(sorted(series_map.items())):
+        mark = markers[index % len(markers)]
+        for x, y in series:
+            col = 0 if x_hi == x_lo else int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = 0 if y_hi == y_lo else int((y - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = mark
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("y: 0 .. {:.1f}".format(y_hi))
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append("x: {:.1f} .. {:.1f}".format(x_lo, x_hi))
+    legend = "  ".join(
+        "{}={}".format(markers[i % len(markers)], name)
+        for i, name in enumerate(sorted(series_map))
+    )
+    lines.append(legend)
+    return "\n".join(lines)

@@ -1,0 +1,1 @@
+"""Case-study applications built on the simulated cluster."""

@@ -1,0 +1,5 @@
+"""Shared application building blocks (event-driven proxy, helpers)."""
+
+from repro.apps.common.proxy import ForwardingProxy, field_route, hash_route
+
+__all__ = ["ForwardingProxy", "field_route", "hash_route"]

@@ -1,0 +1,8 @@
+"""The virtual storage service: clients -> user-level proxy -> NFS backends."""
+
+from repro.apps.nfs import protocol
+from repro.apps.nfs.client import NfsMount
+from repro.apps.nfs.server import NfsServer
+from repro.apps.nfs.service import VirtualStorageService
+
+__all__ = ["NfsMount", "NfsServer", "VirtualStorageService", "protocol"]

@@ -1,0 +1,126 @@
+"""NFS client mount.
+
+Models the kernel NFS client's RPC behaviour:
+
+* ``pipeline=1`` — strictly synchronous RPCs on a single connection
+  (NFSv2-style stable writes, one outstanding call).
+* ``pipeline=N`` — write-behind: up to N outstanding calls, one per
+  connection, each connection strictly request/response alternating.
+  This reproduces the kernel client's multiple in-flight WRITEs while
+  keeping every flow in the regime where the paper's black-box message
+  extraction is exact.
+"""
+
+from repro.apps.nfs import protocol
+
+
+class _Conn:
+    __slots__ = ("sock", "pending_path", "pending_since", "pending_op")
+
+    def __init__(self, sock):
+        self.sock = sock
+        self.pending_path = None
+        self.pending_since = None
+        self.pending_op = None
+
+
+class NfsMount:
+    """One client task's mount of the storage service (via the proxy).
+
+    Use inside a task generator::
+
+        mount = NfsMount(ctx, "proxy", pipeline=4)
+        yield from mount.connect()
+        yield from mount.write("/vol/f0", 0, 16384, stable=False)
+        yield from mount.commit("/vol/f0")
+        yield from mount.drain()
+    """
+
+    def __init__(self, ctx, server, port=protocol.NFS_PORT, pipeline=1,
+                 on_complete=None):
+        if pipeline < 1:
+            raise ValueError("pipeline must be >= 1")
+        self.ctx = ctx
+        self.server = server
+        self.port = port
+        self.pipeline = pipeline
+        self.on_complete = on_complete  # on_complete(ts, op, path, latency)
+        self._conns = []
+        self._rr = 0
+        self.calls = 0
+        self.completed = 0
+        self.total_latency = 0.0
+
+    def connect(self):
+        for _ in range(self.pipeline):
+            sock = yield from self.ctx.connect(self.server, self.port)
+            self._conns.append(_Conn(sock))
+        return self
+
+    # ------------------------------------------------------------------
+
+    def _reap(self, conn):
+        """Collect the outstanding reply on ``conn`` (if any)."""
+        if conn.pending_since is None:
+            return
+        reply = yield from self.ctx.recv_message(conn.sock)
+        if reply is None:
+            raise RuntimeError("NFS server closed the connection")
+        latency = self.ctx.now - conn.pending_since
+        self.completed += 1
+        self.total_latency += latency
+        if self.on_complete is not None:
+            self.on_complete(self.ctx.now, conn.pending_op, conn.pending_path, latency)
+        conn.pending_since = None
+        conn.pending_path = None
+        conn.pending_op = None
+
+    def _call(self, op, path, offset=0, nbytes=0, stable=True):
+        """Issue a call on the next connection; waits only if that
+        connection still has an outstanding call (window full)."""
+        conn = self._conns[self._rr % len(self._conns)]
+        self._rr += 1
+        yield from self._reap(conn)
+        meta = protocol.make_meta(op, path, offset=offset, nbytes=nbytes, stable=stable)
+        yield from self.ctx.send_message(
+            conn.sock, protocol.request_size(op, nbytes), kind=op, meta=meta
+        )
+        conn.pending_since = self.ctx.now
+        conn.pending_path = path
+        conn.pending_op = op
+        self.calls += 1
+
+    def drain(self):
+        """Wait for every outstanding call to complete."""
+        for conn in self._conns:
+            yield from self._reap(conn)
+
+    # ------------------------------------------------------------------
+
+    def write(self, path, offset, nbytes, stable=True):
+        yield from self._call(
+            protocol.OP_WRITE, path, offset=offset, nbytes=nbytes, stable=stable
+        )
+
+    def read(self, path, offset, nbytes):
+        yield from self._call(protocol.OP_READ, path, offset=offset, nbytes=nbytes)
+
+    def commit(self, path):
+        """COMMIT: flush the server's unstable data for ``path``.  Waits for
+        all outstanding calls first (the kernel client serializes commits)."""
+        yield from self.drain()
+        yield from self._call(protocol.OP_COMMIT, path)
+        yield from self.drain()
+
+    def lookup(self, path):
+        yield from self._call(protocol.OP_LOOKUP, path)
+
+    def close(self):
+        yield from self.drain()
+        for conn in self._conns:
+            yield from self.ctx.close(conn.sock)
+        self._conns = []
+
+    @property
+    def mean_latency(self):
+        return self.total_latency / self.completed if self.completed else 0.0

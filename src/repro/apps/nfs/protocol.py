@@ -1,0 +1,41 @@
+"""NFS-like message protocol: operation types and wire sizes."""
+
+NFS_PORT = 2049
+
+#: RPC header + NFS call overhead per request, bytes.
+CALL_OVERHEAD = 200
+#: Reply header bytes.
+REPLY_OVERHEAD = 128
+
+OP_WRITE = "nfs-write"
+OP_READ = "nfs-read"
+OP_COMMIT = "nfs-commit"
+OP_LOOKUP = "nfs-lookup"
+OP_GETATTR = "nfs-getattr"
+
+ALL_OPS = (OP_WRITE, OP_READ, OP_COMMIT, OP_LOOKUP, OP_GETATTR)
+
+
+def request_size(op, nbytes=0):
+    """Wire size of a request message for ``op``."""
+    if op == OP_WRITE:
+        return CALL_OVERHEAD + nbytes
+    return CALL_OVERHEAD
+
+
+def reply_size(op, nbytes=0):
+    """Wire size of the reply message for ``op``."""
+    if op == OP_READ:
+        return REPLY_OVERHEAD + nbytes
+    return REPLY_OVERHEAD
+
+
+def make_meta(op, path, offset=0, nbytes=0, stable=True):
+    """Request metadata carried alongside the message."""
+    return {
+        "op": op,
+        "path": path,
+        "offset": offset,
+        "len": nbytes,
+        "stable": stable,
+    }

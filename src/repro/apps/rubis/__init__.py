@@ -1,0 +1,20 @@
+"""The RUBiS auction site: front-end, servlet tier, database."""
+
+from repro.apps.rubis.db import DB_PORT, DbServer
+from repro.apps.rubis.requests import BIDDING, COMMENT, PROFILES, Request, RequestProfile
+from repro.apps.rubis.servlet import SERVLET_PORT, ServletServer
+from repro.apps.rubis.site import HTTP_PORT, RubisSite
+
+__all__ = [
+    "BIDDING",
+    "COMMENT",
+    "DB_PORT",
+    "DbServer",
+    "HTTP_PORT",
+    "PROFILES",
+    "Request",
+    "RequestProfile",
+    "RubisSite",
+    "SERVLET_PORT",
+    "ServletServer",
+]

@@ -1,0 +1,96 @@
+"""RUBiS request classes and their resource profiles.
+
+§3.3: "The bidding request is cpu intensive and consumes lot of cpu at
+the servlet server which processes it.  The comment request on the other
+hand generates significant network traffic."  Bidding carries real-time
+SLAs (tight DWCS window); comments are best-effort-ish (loose window).
+"""
+
+from dataclasses import dataclass
+from itertools import count
+
+_request_ids = count(1)
+
+
+@dataclass(frozen=True)
+class RequestProfile:
+    """Static description of one request class."""
+
+    name: str
+    request_bytes: int       # client -> front-end payload
+    response_bytes: int      # servlet -> client payload
+    servlet_cpu: float       # user CPU at the servlet
+    db_op: str               # "read" | "write"
+    db_bytes: int            # DB payload touched
+    db_cpu: float            # CPU at the DB server
+    period: float            # DWCS deadline period
+    window_x: int            # DWCS loss numerator
+    window_y: int            # DWCS loss denominator
+
+
+BIDDING = RequestProfile(
+    name="bidding",
+    request_bytes=700,
+    response_bytes=2200,
+    servlet_cpu=5.0e-3,
+    db_op="read",
+    db_bytes=2048,
+    db_cpu=120e-6,
+    period=20e-3,
+    window_x=1,
+    window_y=10,
+)
+
+COMMENT = RequestProfile(
+    name="comment",
+    request_bytes=1600,
+    response_bytes=40960,
+    servlet_cpu=1.2e-3,
+    db_op="write",
+    db_bytes=4096,
+    db_cpu=180e-6,
+    period=80e-3,
+    window_x=4,
+    window_y=10,
+)
+
+PROFILES = {profile.name: profile for profile in (BIDDING, COMMENT)}
+
+
+class Request:
+    """One client request instance moving through the scheduler."""
+
+    __slots__ = ("request_id", "profile", "session", "arrival", "deadline",
+                 "seq", "dispatched_at", "servlet", "completed_at")
+
+    def __init__(self, profile, session, arrival):
+        self.request_id = next(_request_ids)
+        self.profile = profile
+        self.session = session
+        self.arrival = arrival
+        self.deadline = None
+        self.seq = 0
+        self.dispatched_at = None
+        self.servlet = None
+        self.completed_at = None
+
+    @property
+    def name(self):
+        return self.profile.name
+
+    def meta(self):
+        return {
+            "class": self.profile.name,
+            "req_id": self.request_id,
+            "session": self.session,
+            "db_op": self.profile.db_op,
+            "db_bytes": self.profile.db_bytes,
+            "db_cpu": self.profile.db_cpu,
+            "servlet_cpu": self.profile.servlet_cpu,
+            "response_bytes": self.profile.response_bytes,
+        }
+
+    def __repr__(self):
+        return "<Request #{} {} s{}>".format(
+            self.request_id, self.profile.name, self.session
+        )

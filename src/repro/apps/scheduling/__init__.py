@@ -1,0 +1,19 @@
+"""Window-constrained request scheduling: DWCS and resource-aware DWCS."""
+
+from repro.apps.scheduling.dwcs import DwcsScheduler, DwcsStream
+from repro.apps.scheduling.dispatcher import (
+    DispatchRecord,
+    RequestDispatcher,
+    RoundRobinRouter,
+)
+from repro.apps.scheduling.radwcs import LoadMonitor, ResourceAwareRouter
+
+__all__ = [
+    "DispatchRecord",
+    "DwcsScheduler",
+    "DwcsStream",
+    "LoadMonitor",
+    "RequestDispatcher",
+    "ResourceAwareRouter",
+    "RoundRobinRouter",
+]

@@ -1,0 +1,198 @@
+"""Dynamic Window-Constrained Scheduling (DWCS).
+
+Re-implementation of the algorithm of West/Schwan ("Window-Constrained
+Process Scheduling for Linux Systems", RTLW 2001 — the paper's reference
+[29]).  Each stream *i* has a request period ``T_i`` (every request's
+deadline is its arrival plus ``T_i``) and an original window-constraint
+``W_i = x_i / y_i``: at most ``x_i`` of any ``y_i`` consecutive requests
+may miss their deadlines.
+
+The scheduler keeps *current* constraints ``(x', y')`` per stream and
+serves the eligible stream chosen by pairwise precedence rules:
+
+1. earliest current deadline first;
+2. equal deadlines → lowest current window-constraint ``W' = x'/y'``;
+3. equal and zero ``W'`` → highest current window-denominator ``y'``;
+4. equal and non-zero ``W'`` → lowest current ``x'``;
+5. all equal → first-come-first-served.
+
+Window adjustment on servicing stream *i* before its deadline::
+
+    y_i' -= 1;  if y_i' == 0: (x_i', y_i') = (x_i, y_i)
+
+and on a missed deadline::
+
+    x_i' -= 1;  y_i' -= 1
+    if x_i' == 0: stream is *critical* (W' == 0 beats any non-zero W')
+    if x_i' <  0: window violation (counted; x' clamped to 0)
+    if y_i' == 0: (x_i', y_i') = (x_i, y_i)
+"""
+
+from collections import deque
+
+
+class DwcsStream:
+    """One scheduled request class."""
+
+    def __init__(self, name, period, x, y, priority_hint=0):
+        if period <= 0:
+            raise ValueError("period must be positive")
+        if not (0 <= x <= y) or y <= 0:
+            raise ValueError("window constraint needs 0 <= x <= y, y > 0")
+        self.name = name
+        self.period = period
+        self.x = x
+        self.y = y
+        self.x_cur = x
+        self.y_cur = y
+        self.priority_hint = priority_hint
+        self.queue = deque()
+        self.arrivals = 0
+        self.serviced = 0
+        self.missed = 0
+        self.dropped = 0
+        self.violations = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def window_constraint(self):
+        return self.x_cur / self.y_cur if self.y_cur else 0.0
+
+    @property
+    def head_deadline(self):
+        return self.queue[0].deadline if self.queue else None
+
+    def enqueue(self, request):
+        request.deadline = request.arrival + self.period
+        self.queue.append(request)
+        self.arrivals += 1
+
+    def pop(self):
+        return self.queue.popleft()
+
+    def _reset_window_if_done(self):
+        if self.y_cur <= 0:
+            self.x_cur = self.x
+            self.y_cur = self.y
+
+    def on_service(self, before_deadline):
+        """Account one request leaving the queue for service."""
+        if before_deadline:
+            self.serviced += 1
+            self.y_cur -= 1
+            # Tolerable losses cannot exceed the packets left in the window.
+            if self.x_cur > self.y_cur:
+                self.x_cur = max(0, self.y_cur)
+        else:
+            self.missed += 1
+            self.serviced += 1
+            self._miss_adjust()
+        self._reset_window_if_done()
+
+    def on_drop(self):
+        """Account one request shed without service (counts as a miss)."""
+        self.dropped += 1
+        self.missed += 1
+        self._miss_adjust()
+        self._reset_window_if_done()
+
+    def _miss_adjust(self):
+        self.x_cur -= 1
+        self.y_cur -= 1
+        if self.x_cur < 0:
+            self.violations += 1
+            self.x_cur = 0
+
+    def stats(self):
+        return {
+            "name": self.name,
+            "arrivals": self.arrivals,
+            "serviced": self.serviced,
+            "missed": self.missed,
+            "dropped": self.dropped,
+            "violations": self.violations,
+            "queued": len(self.queue),
+        }
+
+    def __repr__(self):
+        return "<DwcsStream {} W'={}/{} queued={}>".format(
+            self.name, self.x_cur, self.y_cur, len(self.queue)
+        )
+
+
+class DwcsScheduler:
+    """Pure scheduling core: holds streams, picks the next one to serve."""
+
+    def __init__(self, drop_factor=None):
+        """``drop_factor``: shed a request once it is more than
+        ``drop_factor * period`` past its deadline (None = never shed)."""
+        self.streams = {}
+        self.drop_factor = drop_factor
+        self._arrival_seq = 0
+
+    def add_stream(self, stream):
+        self.streams[stream.name] = stream
+        return stream
+
+    def stream(self, name):
+        return self.streams[name]
+
+    def submit(self, name, request):
+        self._arrival_seq += 1
+        request.seq = self._arrival_seq
+        self.streams[name].enqueue(request)
+
+    @property
+    def backlog(self):
+        return sum(len(stream.queue) for stream in self.streams.values())
+
+    # ------------------------------------------------------------------
+
+    def shed_late(self, now):
+        """Drop requests hopelessly past their deadline; returns them."""
+        if self.drop_factor is None:
+            return []
+        shed = []
+        for stream in self.streams.values():
+            horizon = self.drop_factor * stream.period
+            while stream.queue and now > stream.queue[0].deadline + horizon:
+                shed.append(stream.pop())
+                stream.on_drop()
+        return shed
+
+    def pick(self, now):
+        """Choose the next request: returns ``(stream, request)`` or ``None``.
+
+        Applies the window adjustments for the serviced stream.
+        """
+        best = None
+        for stream in self.streams.values():
+            if not stream.queue:
+                continue
+            if best is None or self._precedes(stream, best):
+                best = stream
+        if best is None:
+            return None
+        request = best.pop()
+        best.on_service(before_deadline=now <= request.deadline)
+        return best, request
+
+    @staticmethod
+    def _precedes(a, b):
+        """True when stream ``a`` takes precedence over stream ``b``."""
+        da, db = a.head_deadline, b.head_deadline
+        if da != db:
+            return da < db
+        wa, wb = a.window_constraint, b.window_constraint
+        if wa != wb:
+            return wa < wb
+        if wa == 0.0:
+            if a.y_cur != b.y_cur:
+                return a.y_cur > b.y_cur
+        elif a.x_cur != b.x_cur:
+            return a.x_cur < b.x_cur
+        return a.queue[0].seq < b.queue[0].seq
+
+    def stats(self):
+        return {name: stream.stats() for name, stream in self.streams.items()}

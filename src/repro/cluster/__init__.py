@@ -1,0 +1,15 @@
+"""Multi-node cluster assembly: nodes, clocks, and NTP synchronization."""
+
+from repro.cluster.clock import ClockTable, NodeClock
+from repro.cluster.node import Cluster, Node
+from repro.cluster.ntp import NTP_PORT, NtpSync, synchronize
+
+__all__ = [
+    "ClockTable",
+    "Cluster",
+    "NTP_PORT",
+    "Node",
+    "NodeClock",
+    "NtpSync",
+    "synchronize",
+]

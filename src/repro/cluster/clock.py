@@ -1,0 +1,59 @@
+"""Per-node clocks with offset and drift.
+
+SysProf timestamps events with the *node-local* clock; the Global
+Performance Analyzer must correlate logs across nodes using NTP-style
+corrections (paper §2, GPA: "it correlates ... NTP timestamps in the
+logs from different nodes").  Simulating skewed clocks keeps that part
+of the system honest.
+"""
+
+
+class NodeClock:
+    """local_time = sim_time * (1 + drift) + offset."""
+
+    __slots__ = ("offset", "drift")
+
+    def __init__(self, offset=0.0, drift=0.0):
+        if drift <= -1.0:
+            raise ValueError("drift must be > -1")
+        self.offset = offset
+        self.drift = drift
+
+    def local_time(self, sim_now):
+        return sim_now * (1.0 + self.drift) + self.offset
+
+    def sim_time(self, local):
+        return (local - self.offset) / (1.0 + self.drift)
+
+    def __repr__(self):
+        return "<NodeClock offset={:.6g} drift={:.3g}>".format(self.offset, self.drift)
+
+
+class ClockTable:
+    """Estimated offsets of every node's clock relative to a reference node.
+
+    Produced by :class:`repro.cluster.ntp.NtpSync`; consumed by the GPA to
+    translate node-local event timestamps onto one common timescale.
+    """
+
+    def __init__(self, reference):
+        self.reference = reference
+        self._offsets = {reference: 0.0}
+
+    def set_offset(self, node_name, offset):
+        self._offsets[node_name] = offset
+
+    def offset(self, node_name):
+        return self._offsets[node_name]
+
+    def known(self, node_name):
+        return node_name in self._offsets
+
+    def to_reference(self, node_name, local_ts):
+        """Translate a node-local timestamp to the reference timescale."""
+        return local_ts - self._offsets[node_name]
+
+    def __repr__(self):
+        return "<ClockTable ref={} nodes={}>".format(
+            self.reference, sorted(self._offsets)
+        )

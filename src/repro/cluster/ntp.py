@@ -1,0 +1,104 @@
+"""NTP-style clock synchronization over the simulated network.
+
+Runs a real two-way exchange through the socket stack (so sync accuracy
+degrades with network load, as in life).  The classic offset estimator is
+used: for client send/receive local times ``t0``/``t3`` and server
+receive/reply local times ``T1``/``T2``,
+
+    theta = ((T1 - t0) + (T2 - t3)) / 2
+
+estimates how far the server's clock runs ahead of the client's.
+"""
+
+NTP_PORT = 123
+_PROBE_BYTES = 90  # NTPv4 packet size
+
+
+class NtpSync:
+    """Measure clock offsets of all nodes relative to a reference node."""
+
+    def __init__(self, cluster, reference_name, rounds=4):
+        self.cluster = cluster
+        self.reference_name = reference_name
+        self.rounds = rounds
+        self._servers = []
+
+    def start_servers(self):
+        """Start an ntpd responder task on every non-reference node."""
+        for name, node in self.cluster.nodes.items():
+            if name == self.reference_name:
+                continue
+            self._servers.append(node.spawn("ntpd", self._ntpd))
+
+    def _ntpd(self, ctx):
+        lsock = yield from ctx.listen(NTP_PORT)
+        while True:
+            sock = yield from ctx.accept(lsock)
+            while True:
+                request = yield from ctx.recv_message(sock)
+                if request is None:
+                    break
+                receive_ts = ctx.kernel.clock.local_time(ctx.now)
+                # Trivial server-side processing before the reply is formed.
+                yield from ctx.compute(2e-6)
+                transmit_ts = ctx.kernel.clock.local_time(ctx.now)
+                yield from ctx.send_message(
+                    sock,
+                    _PROBE_BYTES,
+                    kind="ntp-reply",
+                    meta={"t1": receive_ts, "t2": transmit_ts},
+                )
+
+    def measure(self, clock_table, on_done=None):
+        """Spawn the measurement task on the reference node.
+
+        Offsets land in ``clock_table`` as exchanges complete; run the
+        simulator until the returned task finishes.
+        """
+        reference = self.cluster.node(self.reference_name)
+        targets = [n for n in self.cluster.nodes if n != self.reference_name]
+        return reference.spawn(
+            "ntp-sync", self._client, targets, clock_table, on_done
+        )
+
+    def _client(self, ctx, targets, clock_table, on_done):
+        clock = ctx.kernel.clock
+        for target in targets:
+            sock = yield from ctx.connect(target, NTP_PORT)
+            thetas = []
+            for _ in range(self.rounds):
+                t0 = clock.local_time(ctx.now)
+                yield from ctx.send_message(sock, _PROBE_BYTES, kind="ntp-request")
+                reply = yield from ctx.recv_message(sock)
+                t3 = clock.local_time(ctx.now)
+                t1 = reply.meta["t1"]
+                t2 = reply.meta["t2"]
+                thetas.append(((t1 - t0) + (t2 - t3)) / 2.0)
+            yield from ctx.close(sock)
+            # Median is robust to one queue-delayed exchange.
+            thetas.sort()
+            mid = len(thetas) // 2
+            if len(thetas) % 2:
+                estimate = thetas[mid]
+            else:
+                estimate = 0.5 * (thetas[mid - 1] + thetas[mid])
+            clock_table.set_offset(target, estimate)
+        if on_done is not None:
+            on_done(clock_table)
+        return clock_table
+
+
+def synchronize(cluster, reference_name, rounds=4, deadline=5.0):
+    """Convenience: run a full sync pass and return the :class:`ClockTable`.
+
+    Must be called while the simulation is otherwise quiet (e.g. before
+    the workload starts); advances simulated time.
+    """
+    from repro.cluster.clock import ClockTable
+
+    table = ClockTable(reference_name)
+    sync = NtpSync(cluster, reference_name, rounds=rounds)
+    sync.start_servers()
+    task = sync.measure(table)
+    cluster.sim.run_until_triggered(task.proc, limit=cluster.sim.now + deadline)
+    return table

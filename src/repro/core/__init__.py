@@ -1,0 +1,79 @@
+"""SysProf: the paper's contribution — fine-grain online distributed monitoring."""
+
+from repro.core.arm import ArmTracker
+from repro.core.buffers import DoubleBuffer, SingleBuffer
+from repro.core.channels import ChannelHub, SYSPROF_PORT_BASE, is_sysprof_port
+from repro.core.controller import Controller
+from repro.core.cpa import CustomAnalyzer
+from repro.core.daemon import DisseminationDaemon
+from repro.core.ecode import ECodeError, ECodeProgram
+from repro.core.encoding import (
+    FormatRegistry,
+    decode_records,
+    encode_records,
+    encode_text,
+)
+from repro.core.events import MonEvent
+from repro.core.gpa import CausalPath, GlobalPerformanceAnalyzer
+from repro.core.interactions import (
+    InteractionRecord,
+    InteractionTracker,
+    MessageStats,
+)
+from repro.core.kprof import (
+    Kprof,
+    all_of,
+    exclude_port_range,
+    field_predicate,
+    pid_predicate,
+)
+from repro.core.offline import EventLog, replay_interactions
+from repro.core.query import GpaQueryClient, GpaQueryError, remote_query
+from repro.core.lpa import (
+    InteractionLPA,
+    LocalPerformanceAnalyzer,
+    NodeStatsLPA,
+    SyscallLPA,
+)
+from repro.core.toolkit import NodeMonitor, SysProf, SysProfConfig
+
+__all__ = [
+    "ArmTracker",
+    "CausalPath",
+    "ChannelHub",
+    "Controller",
+    "CustomAnalyzer",
+    "DisseminationDaemon",
+    "DoubleBuffer",
+    "ECodeError",
+    "ECodeProgram",
+    "EventLog",
+    "FormatRegistry",
+    "GpaQueryClient",
+    "GpaQueryError",
+    "GlobalPerformanceAnalyzer",
+    "InteractionLPA",
+    "InteractionRecord",
+    "InteractionTracker",
+    "Kprof",
+    "LocalPerformanceAnalyzer",
+    "MessageStats",
+    "MonEvent",
+    "NodeMonitor",
+    "NodeStatsLPA",
+    "SYSPROF_PORT_BASE",
+    "SingleBuffer",
+    "SysProf",
+    "SyscallLPA",
+    "SysProfConfig",
+    "all_of",
+    "decode_records",
+    "encode_records",
+    "encode_text",
+    "exclude_port_range",
+    "field_predicate",
+    "is_sysprof_port",
+    "pid_predicate",
+    "remote_query",
+    "replay_interactions",
+]

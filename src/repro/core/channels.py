@@ -1,0 +1,54 @@
+"""Kernel-level publish-subscribe channels.
+
+The control plane (:class:`ChannelHub`) tracks which (node, port)
+endpoints subscribe to which channel; the data plane is ordinary
+simulated sockets owned by each node's dissemination daemon, so channel
+traffic consumes real simulated CPU and bandwidth and is visible to (and
+must be filtered out of) the monitoring itself — SysProf reserves a port
+range for its own traffic for exactly that purpose.
+"""
+
+SYSPROF_PORT_BASE = 9100
+SYSPROF_PORT_LIMIT = 9199
+
+
+class ChannelHub:
+    """Cluster-wide channel subscription registry (control plane only)."""
+
+    def __init__(self):
+        self._subscribers = {}  # channel -> [(node_name, port)]
+
+    def subscribe(self, channel, node_name, port):
+        if not (SYSPROF_PORT_BASE <= port <= SYSPROF_PORT_LIMIT):
+            raise ValueError(
+                "SysProf channel ports must be in [{}, {}]".format(
+                    SYSPROF_PORT_BASE, SYSPROF_PORT_LIMIT
+                )
+            )
+        entry = (node_name, port)
+        subscribers = self._subscribers.setdefault(channel, [])
+        if entry not in subscribers:
+            subscribers.append(entry)
+
+    def unsubscribe(self, channel, node_name, port):
+        subscribers = self._subscribers.get(channel, [])
+        entry = (node_name, port)
+        if entry in subscribers:
+            subscribers.remove(entry)
+
+    def subscribers(self, channel):
+        """Current subscriber endpoints for ``channel`` (may be empty)."""
+        return list(self._subscribers.get(channel, ()))
+
+    def channels(self):
+        return sorted(self._subscribers)
+
+    def __repr__(self):
+        return "<ChannelHub {}>".format(
+            {channel: len(subs) for channel, subs in self._subscribers.items()}
+        )
+
+
+def is_sysprof_port(port):
+    """True when ``port`` belongs to SysProf's reserved dissemination range."""
+    return SYSPROF_PORT_BASE <= port <= SYSPROF_PORT_LIMIT

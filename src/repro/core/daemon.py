@@ -1,0 +1,211 @@
+"""The SysProf dissemination daemon.
+
+One kernel-band task per monitored node.  "On receiving a 'buffer full'
+notification from a LPA, the daemon wakes up and copies the LPA's data
+into its own buffer ... it is the daemon's job to aggregate data
+collected from different LPA buffers in order to send it to interested
+parties.  For high performance and low overheads ... the daemon uses
+dynamic data filters, PBIO-based binary encodings, and kernel-level
+publish-subscribe channels."
+
+The daemon also exports every analyzer's state through /proc (as the
+earlier Dproc system did) and drives the periodic eviction timer that
+flushes partially-filled buffers and samples node statistics.
+"""
+
+from repro.core import encoding
+from repro.ossim.task import BAND_KERNEL
+from repro.sim.resources import Store
+
+
+class DisseminationDaemon:
+    """Collects analyzer buffers, encodes records, publishes to channels."""
+
+    def __init__(self, node, hub, registry=None, eviction_interval=0.25,
+                 name="sysprofd", channel_prefix="sysprof/", data_filter=None,
+                 text_encoding=False, affinity=None):
+        self.node = node
+        self.hub = hub
+        self.registry = registry or encoding.FormatRegistry()
+        self.eviction_interval = eviction_interval
+        self.name = name
+        self.channel_prefix = channel_prefix
+        self.data_filter = data_filter  # optional record-level filter fn
+        self.text_encoding = text_encoding  # ablation: ship repr() text
+        self.affinity = affinity  # pin to a dedicated analysis core (SMP)
+        self.lpas = []
+        self._by_buffer = {}
+        self._notifications = Store(node.sim)
+        self._sockets = {}  # (node_name, port) -> socket
+        self._formats_sent = set()  # (endpoint, format name)
+        self.task = None
+        self.records_published = 0
+        self.records_filtered = 0
+        self.bytes_published = 0
+        self.publishes = 0
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+
+    def add_lpa(self, lpa):
+        """Attach an analyzer: its buffer-full notifications come here."""
+        self.lpas.append(lpa)
+        self._by_buffer[id(lpa.buffer)] = lpa
+        lpa.buffer.on_full = self._on_buffer_full
+        fmt_name, fmt_fields = lpa.record_format
+        if fmt_name not in self.registry:
+            self.registry.register(fmt_name, fmt_fields)
+        self.node.kernel.procfs.register(
+            "/proc/sysprof/{}".format(lpa.name), lambda lpa=lpa: _render_lpa(lpa)
+        )
+        return lpa
+
+    def _on_buffer_full(self, buffer, index):
+        self._notifications.put((buffer, index))
+
+    def start(self):
+        if self.task is None:
+            self.task = self.node.spawn(
+                self.name, self._run, band=BAND_KERNEL, affinity=self.affinity
+            )
+            self.node.kernel.procfs.register(
+                "/proc/sysprof/daemon", self._render_daemon
+            )
+        return self.task
+
+    def stop(self):
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+
+    def _run(self, ctx):
+        sim = ctx.sim
+        # One persistent pending get() so no notification is ever consumed
+        # by an abandoned waiter.
+        pending = self._notifications.get()
+        last_eviction = sim.now
+        while not self._stopped:
+            timer = sim.timeout(self.eviction_interval)
+            yield from ctx.wait(sim.any_of([pending, timer]), reason="sysprofd-idle")
+            if self._stopped:
+                break
+            if sim.now - last_eviction >= self.eviction_interval:
+                # Timer-driven flush of partial buffers + node sampling,
+                # guaranteed to run even under constant notification load.
+                last_eviction = sim.now
+                for lpa in self.lpas:
+                    if hasattr(lpa, "sample"):
+                        lpa.sample()
+                    lpa.evict()
+            batches = []
+            while True:
+                if pending.triggered:
+                    batches.append(pending.value)
+                    pending = self._notifications.get()
+                    continue
+                ok, item = self._notifications.try_get()
+                if not ok:
+                    break
+                batches.append(item)
+            for buffer, index in batches:
+                lpa = self._by_buffer.get(id(buffer))
+                if lpa is None:
+                    continue
+                records = buffer.drain(index)
+                if not records:
+                    continue
+                yield from self._publish(ctx, lpa, records)
+        return "stopped"
+
+    def _publish(self, ctx, lpa, records):
+        costs = self.node.kernel.costs
+        # Copy records out of the per-CPU buffer.
+        yield from ctx.kcompute(costs.record_copy * len(records))
+        if self.data_filter is not None:
+            kept = [r for r in records if self.data_filter(lpa.name, r)]
+            self.records_filtered += len(records) - len(kept)
+            records = kept
+            if not records:
+                return
+        fmt_name, fmt_fields = lpa.record_format
+        fmt = self.registry.register(fmt_name, fmt_fields)
+        yield from ctx.kcompute(costs.record_encode * len(records))
+        if self.text_encoding:
+            blob = encoding.encode_text(records)
+            # Text encoding is an order of magnitude costlier to produce.
+            yield from ctx.kcompute(costs.record_encode * 9 * len(records))
+        else:
+            blob = encoding.encode_records(fmt, records)
+        self.records_published += len(records)
+        channel = self.channel_prefix + fmt_name
+        for endpoint in self.hub.subscribers(channel):
+            sock = yield from self._endpoint_socket(ctx, endpoint)
+            if sock is None:
+                continue
+            if not self.text_encoding and (endpoint, fmt_name) not in self._formats_sent:
+                descriptor = fmt.describe()
+                yield from ctx.send_message(
+                    sock, len(descriptor), kind="sysprof-fmt",
+                    meta={"blob": descriptor},
+                )
+                self._formats_sent.add((endpoint, fmt_name))
+            yield from ctx.send_message(
+                sock, len(blob), kind="sysprof-data",
+                meta={"blob": blob, "channel": channel, "text": self.text_encoding},
+            )
+            self.bytes_published += len(blob)
+            self.publishes += 1
+
+    def _endpoint_socket(self, ctx, endpoint):
+        sock = self._sockets.get(endpoint)
+        if sock is not None:
+            return sock
+        node_name, port = endpoint
+        try:
+            sock = yield from ctx.connect(node_name, port)
+        except Exception:
+            self._sockets[endpoint] = None
+            return None
+        self._sockets[endpoint] = sock
+        return sock
+
+    # ------------------------------------------------------------------
+
+    def _render_daemon(self):
+        lines = [
+            "daemon={} node={}".format(self.name, self.node.name),
+            "records_published={}".format(self.records_published),
+            "records_filtered={}".format(self.records_filtered),
+            "bytes_published={}".format(self.bytes_published),
+            "publishes={}".format(self.publishes),
+            "lpas={}".format(",".join(lpa.name for lpa in self.lpas)),
+        ]
+        return "\n".join(lines) + "\n"
+
+    def stats(self):
+        return {
+            "records_published": self.records_published,
+            "records_filtered": self.records_filtered,
+            "bytes_published": self.bytes_published,
+            "publishes": self.publishes,
+        }
+
+
+def _render_lpa(lpa):
+    lines = ["lpa={}".format(lpa.name)]
+    for key, value in sorted(lpa.stats().items()):
+        lines.append("{}={}".format(key, value))
+    if hasattr(lpa, "window_snapshot"):
+        window = lpa.window_snapshot()
+        lines.append("window_records={}".format(len(window)))
+        for record in window[-5:]:
+            lines.append(
+                "interaction id={} class={} total={:.6f} kernel={:.6f} user={:.6f}".format(
+                    record["interaction_id"],
+                    record["request_class"],
+                    record["total_latency"],
+                    record["kernel_time"],
+                    record["user_time"],
+                )
+            )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,745 @@
+"""E-Code: runtime compilation of custom analyzer programs.
+
+The paper downloads Custom Performance Analyzers into the kernel as
+E-Code, "a language subset of C, compiled through run-time code
+generation".  This module implements that capability: a lexer, a
+recursive-descent parser, and a compiler that turns the AST into Python
+closures.  The language is deliberately small and *safe*: no pointers,
+no loops without bounds guards (a configurable step budget aborts
+runaways), no access to anything but the event's fields, the program's
+own globals, and a whitelist of pure builtins.
+
+Grammar (EBNF-ish)::
+
+    program    := { declaration | function }
+    declaration:= ("int" | "double") ident [ "=" expr ] ";"
+                | ("int" | "double") ident "[" intlit "]" ";"   (fixed array)
+    function   := ("int" | "double" | "void") ident "(" params ")" block
+    params     := [ ("event" | "int" | "double") ident { "," ... } ]
+    block      := "{" { statement } "}"
+    statement  := declaration | assign ";" | "if" ... | "while" ...
+                | "return" [ expr ] ";" | block | expr ";"
+    assign     := ident [ "[" expr "]" ] ("=" | "+=" | "-=" | "*=" | "/=") expr
+    expr       := ternary-free C expression over || && == != < <= > >=
+                  + - * / % ! and unary minus, with calls, field access,
+                  and bounds-checked array indexing (``hist[i]``)
+
+Arrays are fixed-size, zero-initialized, and bounds-checked — enough for
+in-kernel histograms without any pointer surface.
+"""
+
+import re
+
+from repro.sim.errors import SimError
+
+
+class ECodeError(SimError):
+    """Lexing, parsing, compilation, or runtime error in an E-Code program."""
+
+
+class ECodeBudgetExceeded(ECodeError):
+    """The program exceeded its execution step budget."""
+
+
+# ----------------------------------------------------------------------
+# lexer
+# ----------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|//[^\n]*|/\*.*?\*/)
+  | (?P<number>\d+\.\d*(?:[eE][+-]?\d+)?|\.\d+|\d+(?:[eE][+-]?\d+)?)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<op>\|\||&&|==|!=|<=|>=|\+=|-=|\*=|/=|[-+*/%<>=!;,(){}.\[\]])
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+KEYWORDS = frozenset(
+    ("int", "double", "void", "event", "if", "else", "while", "return")
+)
+
+
+class Token:
+    __slots__ = ("kind", "value", "line")
+
+    def __init__(self, kind, value, line):
+        self.kind = kind
+        self.value = value
+        self.line = line
+
+    def __repr__(self):
+        return "Token({}, {!r}, line {})".format(self.kind, self.value, self.line)
+
+
+def tokenize(source):
+    tokens = []
+    pos = 0
+    line = 1
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise ECodeError(
+                "lex error at line {}: unexpected {!r}".format(line, source[pos])
+            )
+        line += source[pos:match.end()].count("\n")
+        pos = match.end()
+        if match.lastgroup == "ws":
+            continue
+        kind = match.lastgroup
+        value = match.group()
+        if kind == "ident" and value in KEYWORDS:
+            kind = "keyword"
+        tokens.append(Token(kind, value, line))
+    tokens.append(Token("eof", "", line))
+    return tokens
+
+
+# ----------------------------------------------------------------------
+# AST
+# ----------------------------------------------------------------------
+
+class Node:
+    __slots__ = ()
+
+
+class Program(Node):
+    __slots__ = ("globals", "functions")
+
+    def __init__(self, globals_, functions):
+        self.globals = globals_  # list of (name, type, init_expr_or_None)
+        self.functions = functions  # name -> Function
+
+
+class Function(Node):
+    __slots__ = ("name", "ret_type", "params", "body")
+
+    def __init__(self, name, ret_type, params, body):
+        self.name = name
+        self.ret_type = ret_type
+        self.params = params  # list of (name, type)
+        self.body = body
+
+
+class Block(Node):
+    __slots__ = ("statements",)
+
+    def __init__(self, statements):
+        self.statements = statements
+
+
+class Declare(Node):
+    __slots__ = ("name", "var_type", "init")
+
+    def __init__(self, name, var_type, init):
+        self.name = name
+        self.var_type = var_type
+        self.init = init
+
+
+class Assign(Node):
+    __slots__ = ("name", "op", "expr")
+
+    def __init__(self, name, op, expr):
+        self.name = name
+        self.op = op
+        self.expr = expr
+
+
+class IndexAssign(Node):
+    __slots__ = ("name", "index", "op", "expr")
+
+    def __init__(self, name, index, op, expr):
+        self.name = name
+        self.index = index
+        self.op = op
+        self.expr = expr
+
+
+class If(Node):
+    __slots__ = ("cond", "then", "otherwise")
+
+    def __init__(self, cond, then, otherwise):
+        self.cond = cond
+        self.then = then
+        self.otherwise = otherwise
+
+
+class While(Node):
+    __slots__ = ("cond", "body")
+
+    def __init__(self, cond, body):
+        self.cond = cond
+        self.body = body
+
+
+class Return(Node):
+    __slots__ = ("expr",)
+
+    def __init__(self, expr):
+        self.expr = expr
+
+
+class ExprStatement(Node):
+    __slots__ = ("expr",)
+
+    def __init__(self, expr):
+        self.expr = expr
+
+
+class Number(Node):
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+
+class StringLit(Node):
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+
+class Name(Node):
+    __slots__ = ("name",)
+
+    def __init__(self, name):
+        self.name = name
+
+
+class Index(Node):
+    __slots__ = ("name", "index")
+
+    def __init__(self, name, index):
+        self.name = name
+        self.index = index
+
+
+class Field(Node):
+    __slots__ = ("base", "field")
+
+    def __init__(self, base, field):
+        self.base = base
+        self.field = field
+
+
+class Unary(Node):
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op, operand):
+        self.op = op
+        self.operand = operand
+
+
+class Binary(Node):
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op, left, right):
+        self.op = op
+        self.left = left
+        self.right = right
+
+
+class Call(Node):
+    __slots__ = ("name", "args")
+
+    def __init__(self, name, args):
+        self.name = name
+        self.args = args
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+
+class Parser:
+    def __init__(self, tokens):
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self, offset=0):
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def advance(self):
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def expect(self, kind, value=None):
+        token = self.advance()
+        if token.kind != kind or (value is not None and token.value != value):
+            raise ECodeError(
+                "parse error at line {}: expected {} {!r}, got {!r}".format(
+                    token.line, kind, value if value is not None else "", token.value
+                )
+            )
+        return token
+
+    def accept(self, kind, value=None):
+        token = self.peek()
+        if token.kind == kind and (value is None or token.value == value):
+            return self.advance()
+        return None
+
+    # -- top level ------------------------------------------------------
+
+    def parse_program(self):
+        globals_ = []
+        functions = {}
+        while self.peek().kind != "eof":
+            token = self.peek()
+            if token.kind != "keyword" or token.value not in ("int", "double", "void"):
+                raise ECodeError(
+                    "parse error at line {}: expected declaration or function, got {!r}".format(
+                        token.line, token.value
+                    )
+                )
+            type_token = self.advance()
+            name = self.expect("ident").value
+            if self.peek().value == "(":
+                functions[name] = self._function_rest(name, type_token.value)
+            else:
+                if type_token.value == "void":
+                    raise ECodeError("void variable {!r}".format(name))
+                if self.accept("op", "["):
+                    size_token = self.expect("number")
+                    self.expect("op", "]")
+                    self.expect("op", ";")
+                    globals_.append(
+                        (name, "{}[{}]".format(type_token.value, size_token.value),
+                         None)
+                    )
+                    continue
+                init = None
+                if self.accept("op", "="):
+                    init = self.parse_expr()
+                self.expect("op", ";")
+                globals_.append((name, type_token.value, init))
+        return Program(globals_, functions)
+
+    def _function_rest(self, name, ret_type):
+        self.expect("op", "(")
+        params = []
+        if self.peek().value != ")":
+            while True:
+                ptype = self.expect("keyword").value
+                if ptype not in ("int", "double", "event"):
+                    raise ECodeError("bad parameter type {!r}".format(ptype))
+                pname = self.expect("ident").value
+                params.append((pname, ptype))
+                if not self.accept("op", ","):
+                    break
+        self.expect("op", ")")
+        body = self.parse_block()
+        return Function(name, ret_type, params, body)
+
+    # -- statements -------------------------------------------------------
+
+    def parse_block(self):
+        self.expect("op", "{")
+        statements = []
+        while self.peek().value != "}":
+            statements.append(self.parse_statement())
+        self.expect("op", "}")
+        return Block(statements)
+
+    def parse_statement(self):
+        token = self.peek()
+        if token.kind == "keyword":
+            if token.value in ("int", "double"):
+                self.advance()
+                name = self.expect("ident").value
+                if self.accept("op", "["):
+                    size_token = self.expect("number")
+                    self.expect("op", "]")
+                    self.expect("op", ";")
+                    return Declare(
+                        name, "{}[{}]".format(token.value, size_token.value), None
+                    )
+                init = None
+                if self.accept("op", "="):
+                    init = self.parse_expr()
+                self.expect("op", ";")
+                return Declare(name, token.value, init)
+            if token.value == "if":
+                self.advance()
+                self.expect("op", "(")
+                cond = self.parse_expr()
+                self.expect("op", ")")
+                then = self.parse_statement()
+                otherwise = None
+                if self.accept("keyword", "else"):
+                    otherwise = self.parse_statement()
+                return If(cond, then, otherwise)
+            if token.value == "while":
+                self.advance()
+                self.expect("op", "(")
+                cond = self.parse_expr()
+                self.expect("op", ")")
+                return While(cond, self.parse_statement())
+            if token.value == "return":
+                self.advance()
+                expr = None
+                if self.peek().value != ";":
+                    expr = self.parse_expr()
+                self.expect("op", ";")
+                return Return(expr)
+        if token.value == "{":
+            return self.parse_block()
+        # indexed assignment: name[expr] op= expr ;
+        if token.kind == "ident" and self.peek(1).value == "[":
+            saved = self.pos
+            name = self.advance().value
+            self.expect("op", "[")
+            index = self.parse_expr()
+            self.expect("op", "]")
+            if self.peek().value in ("=", "+=", "-=", "*=", "/="):
+                op = self.advance().value
+                expr = self.parse_expr()
+                self.expect("op", ";")
+                return IndexAssign(name, index, op, expr)
+            self.pos = saved  # plain expression like h[i];
+        # assignment or expression statement
+        if token.kind == "ident" and self.peek(1).value in ("=", "+=", "-=", "*=", "/="):
+            name = self.advance().value
+            op = self.advance().value
+            expr = self.parse_expr()
+            self.expect("op", ";")
+            return Assign(name, op, expr)
+        expr = self.parse_expr()
+        self.expect("op", ";")
+        return ExprStatement(expr)
+
+    # -- expressions (precedence climbing) ---------------------------------
+
+    _PRECEDENCE = {
+        "||": 1, "&&": 2,
+        "==": 3, "!=": 3,
+        "<": 4, "<=": 4, ">": 4, ">=": 4,
+        "+": 5, "-": 5,
+        "*": 6, "/": 6, "%": 6,
+    }
+
+    def parse_expr(self, min_precedence=1):
+        left = self.parse_unary()
+        while True:
+            token = self.peek()
+            precedence = self._PRECEDENCE.get(token.value)
+            if token.kind != "op" or precedence is None or precedence < min_precedence:
+                return left
+            self.advance()
+            right = self.parse_expr(precedence + 1)
+            left = Binary(token.value, left, right)
+
+    def parse_unary(self):
+        token = self.peek()
+        if token.value in ("-", "!"):
+            self.advance()
+            return Unary(token.value, self.parse_unary())
+        return self.parse_postfix()
+
+    def parse_postfix(self):
+        node = self.parse_primary()
+        while True:
+            if self.accept("op", "."):
+                field = self.expect("ident").value
+                node = Field(node, field)
+            elif self.peek().value == "[" and isinstance(node, Name):
+                self.advance()
+                index = self.parse_expr()
+                self.expect("op", "]")
+                node = Index(node.name, index)
+            else:
+                return node
+
+    def parse_primary(self):
+        token = self.advance()
+        if token.kind == "number":
+            text = token.value
+            if "." in text or "e" in text or "E" in text:
+                return Number(float(text))
+            return Number(int(text))
+        if token.kind == "string":
+            return StringLit(
+                token.value[1:-1].replace('\\"', '"').replace("\\\\", "\\")
+            )
+        if token.kind == "ident":
+            if self.peek().value == "(":
+                self.advance()
+                args = []
+                if self.peek().value != ")":
+                    while True:
+                        args.append(self.parse_expr())
+                        if not self.accept("op", ","):
+                            break
+                self.expect("op", ")")
+                return Call(token.value, args)
+            return Name(token.value)
+        if token.value == "(":
+            expr = self.parse_expr()
+            self.expect("op", ")")
+            return expr
+        raise ECodeError(
+            "parse error at line {}: unexpected {!r}".format(token.line, token.value)
+        )
+
+
+# ----------------------------------------------------------------------
+# compiler / runtime
+# ----------------------------------------------------------------------
+
+_BUILTINS = {
+    "abs": abs,
+    "len": len,
+    "min": min,
+    "max": max,
+    "floor": lambda x: float(int(x // 1)),
+    "sqrt": lambda x: x ** 0.5,
+}
+
+
+class _ReturnSignal(Exception):
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+
+class ECodeInstance:
+    """One loaded analyzer: its own globals, callable functions."""
+
+    def __init__(self, program, step_budget):
+        self.program = program
+        self.step_budget = step_budget
+        self._steps = step_budget
+        self.globals = {}
+        for name, var_type, init in program.globals:
+            if "[" in var_type:
+                self.globals[name] = _make_array(var_type)
+                continue
+            value = self._eval(init, {}) if init is not None else 0
+            self.globals[name] = int(value) if var_type == "int" else float(value)
+
+    def call(self, fname, *args):
+        function = self.program.functions.get(fname)
+        if function is None:
+            raise ECodeError("no such function: {}".format(fname))
+        if len(args) != len(function.params):
+            raise ECodeError(
+                "{}() takes {} args, got {}".format(
+                    fname, len(function.params), len(args)
+                )
+            )
+        local = {pname: arg for (pname, _ptype), arg in zip(function.params, args)}
+        self._steps = self.step_budget
+        try:
+            self._exec_block(function.body, local)
+        except _ReturnSignal as signal:
+            return signal.value
+        return None
+
+    def has_function(self, fname):
+        return fname in self.program.functions
+
+    # -- execution ------------------------------------------------------
+
+    def _tick(self):
+        self._steps -= 1
+        if self._steps <= 0:
+            raise ECodeBudgetExceeded("E-Code step budget exhausted")
+
+    def _exec_block(self, block, local):
+        for statement in block.statements:
+            self._exec(statement, local)
+
+    def _exec(self, node, local):
+        self._tick()
+        kind = type(node)
+        if kind is Declare:
+            if "[" in node.var_type:
+                local[node.name] = _make_array(node.var_type)
+                return
+            value = self._eval(node.init, local) if node.init is not None else 0
+            local[node.name] = int(value) if node.var_type == "int" else float(value)
+        elif kind is Assign:
+            value = self._eval(node.expr, local)
+            target = local if node.name in local else self.globals
+            if node.name not in target:
+                raise ECodeError("assignment to undeclared {!r}".format(node.name))
+            if node.op == "=":
+                target[node.name] = value
+            elif node.op == "+=":
+                target[node.name] += value
+            elif node.op == "-=":
+                target[node.name] -= value
+            elif node.op == "*=":
+                target[node.name] *= value
+            else:
+                target[node.name] = _divide(target[node.name], value)
+        elif kind is IndexAssign:
+            array = self._lookup_array(node.name, local)
+            position = self._array_position(array, node.index, local)
+            value = self._eval(node.expr, local)
+            if node.op == "=":
+                array[position] = value
+            elif node.op == "+=":
+                array[position] += value
+            elif node.op == "-=":
+                array[position] -= value
+            elif node.op == "*=":
+                array[position] *= value
+            else:
+                array[position] = _divide(array[position], value)
+        elif kind is If:
+            if self._eval(node.cond, local):
+                self._exec(node.then, local)
+            elif node.otherwise is not None:
+                self._exec(node.otherwise, local)
+        elif kind is While:
+            while self._eval(node.cond, local):
+                self._tick()
+                self._exec(node.body, local)
+        elif kind is Return:
+            raise _ReturnSignal(
+                self._eval(node.expr, local) if node.expr is not None else None
+            )
+        elif kind is Block:
+            self._exec_block(node, local)
+        elif kind is ExprStatement:
+            self._eval(node.expr, local)
+        else:
+            raise ECodeError("cannot execute node {!r}".format(node))
+
+    def _eval(self, node, local):
+        self._tick()
+        kind = type(node)
+        if kind is Number or kind is StringLit:
+            return node.value
+        if kind is Name:
+            if node.name in local:
+                return local[node.name]
+            if node.name in self.globals:
+                return self.globals[node.name]
+            raise ECodeError("undefined name {!r}".format(node.name))
+        if kind is Index:
+            array = self._lookup_array(node.name, local)
+            return array[self._array_position(array, node.index, local)]
+        if kind is Field:
+            base = self._eval(node.base, local)
+            return _field_access(base, node.field)
+        if kind is Unary:
+            value = self._eval(node.operand, local)
+            return -value if node.op == "-" else (0 if value else 1)
+        if kind is Binary:
+            return self._binary(node, local)
+        if kind is Call:
+            if node.name in self.program.functions:
+                return self.call(node.name, *[self._eval(a, local) for a in node.args])
+            builtin = _BUILTINS.get(node.name)
+            if builtin is None:
+                raise ECodeError("unknown function {!r}".format(node.name))
+            return builtin(*[self._eval(a, local) for a in node.args])
+        raise ECodeError("cannot evaluate node {!r}".format(node))
+
+    def _lookup_array(self, name, local):
+        value = local.get(name, self.globals.get(name))
+        if not isinstance(value, list):
+            raise ECodeError("{!r} is not an array".format(name))
+        return value
+
+    def _array_position(self, array, index_node, local):
+        position = self._eval(index_node, local)
+        if not isinstance(position, int):
+            position = int(position)
+        if not 0 <= position < len(array):
+            raise ECodeError(
+                "array index {} out of bounds [0, {})".format(position, len(array))
+            )
+        return position
+
+    def _binary(self, node, local):
+        op = node.op
+        if op == "&&":
+            return 1 if self._eval(node.left, local) and self._eval(node.right, local) else 0
+        if op == "||":
+            return 1 if self._eval(node.left, local) or self._eval(node.right, local) else 0
+        left = self._eval(node.left, local)
+        right = self._eval(node.right, local)
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            return _divide(left, right)
+        if op == "%":
+            if right == 0:
+                raise ECodeError("modulo by zero")
+            return left % right
+        if op == "==":
+            return 1 if left == right else 0
+        if op == "!=":
+            return 1 if left != right else 0
+        if op == "<":
+            return 1 if left < right else 0
+        if op == "<=":
+            return 1 if left <= right else 0
+        if op == ">":
+            return 1 if left > right else 0
+        return 1 if left >= right else 0
+
+
+def _make_array(var_type):
+    """Build the zero-filled backing list for 'int[N]' / 'double[N]'."""
+    base, _, rest = var_type.partition("[")
+    size = int(rest.rstrip("]"))
+    if size <= 0 or size > 65536:
+        raise ECodeError("array size out of range: {}".format(size))
+    return [0] * size if base == "int" else [0.0] * size
+
+
+def _divide(left, right):
+    if right == 0:
+        raise ECodeError("division by zero")
+    if isinstance(left, int) and isinstance(right, int):
+        return left // right
+    return left / right
+
+
+def _field_access(base, field):
+    """Restricted field access: only monitoring event payloads."""
+    if hasattr(base, "fields") and hasattr(base, "etype"):
+        if field == "etype":
+            return base.etype
+        if field == "ts":
+            return base.ts
+        if field == "node":
+            return base.node
+        return base.fields.get(field, 0)
+    if isinstance(base, dict):
+        return base.get(field, 0)
+    raise ECodeError("field access on non-event value: .{}".format(field))
+
+
+class ECodeProgram:
+    """A compiled E-Code program; instantiate per deployment."""
+
+    def __init__(self, ast, source):
+        self.ast = ast
+        self.source = source
+
+    @classmethod
+    def compile(cls, source):
+        tokens = tokenize(source)
+        ast = Parser(tokens).parse_program()
+        return cls(ast, source)
+
+    def instantiate(self, step_budget=100000):
+        return ECodeInstance(self.ast, step_budget)
+
+    @property
+    def function_names(self):
+        return sorted(self.ast.functions)

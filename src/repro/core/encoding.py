@@ -1,0 +1,162 @@
+"""PBIO-style self-describing binary record encoding.
+
+The paper's dissemination daemon uses PBIO binary encodings to keep
+event-channel payloads compact.  This module reproduces the discipline:
+
+* a **format** is a named, ordered list of typed fields, registered once;
+* a **format descriptor** serializes the schema itself, so a decoder that
+  has never seen the format can reconstruct it (self-describing streams);
+* **records** are fixed-layout ``struct`` packs referencing the format by
+  id — no per-record field names on the wire.
+
+Supported field types: ``f64``, ``i64``, ``u32``, ``u16``, ``bool`` and
+``strN`` (fixed-width UTF-8, NUL-padded, truncated at N bytes).
+"""
+
+import struct
+
+_MAGIC = 0xB10B
+_HEADER = struct.Struct("<HHI")  # magic, format_id, payload length
+
+_SCALAR_CODES = {"f64": "d", "i64": "q", "u32": "I", "u16": "H", "bool": "?"}
+
+
+def _field_code(ftype):
+    code = _SCALAR_CODES.get(ftype)
+    if code is not None:
+        return code
+    if ftype.startswith("str"):
+        width = int(ftype[3:])
+        if width <= 0:
+            raise ValueError("string width must be positive: {}".format(ftype))
+        return "{}s".format(width)
+    raise ValueError("unknown field type: {}".format(ftype))
+
+
+class RecordFormat:
+    """One registered format: name + ordered (field, type) pairs."""
+
+    def __init__(self, format_id, name, fields):
+        self.format_id = format_id
+        self.name = name
+        self.fields = tuple((str(fname), str(ftype)) for fname, ftype in fields)
+        self._struct = struct.Struct(
+            "<" + "".join(_field_code(ftype) for _, ftype in self.fields)
+        )
+        self._strings = frozenset(
+            fname for fname, ftype in self.fields if ftype.startswith("str")
+        )
+        self._bools = frozenset(
+            fname for fname, ftype in self.fields if ftype == "bool"
+        )
+
+    @property
+    def record_size(self):
+        return self._struct.size
+
+    def pack(self, record):
+        values = []
+        for fname, _ftype in self.fields:
+            value = record[fname]
+            if fname in self._strings:
+                value = str(value).encode("utf-8")
+            elif fname in self._bools:
+                value = bool(value)
+            values.append(value)
+        return self._struct.pack(*values)
+
+    def unpack(self, payload):
+        values = self._struct.unpack(payload)
+        record = {}
+        for (fname, _ftype), value in zip(self.fields, values):
+            if fname in self._strings:
+                value = value.rstrip(b"\x00").decode("utf-8", "replace")
+            record[fname] = value
+        return record
+
+    def describe(self):
+        """Serialized schema (the self-describing part of the stream)."""
+        body = "{}|{}".format(
+            self.name, ";".join("{}:{}".format(f, t) for f, t in self.fields)
+        ).encode("utf-8")
+        return struct.pack("<HH", self.format_id, len(body)) + body
+
+    def __repr__(self):
+        return "<RecordFormat {} #{} {}B>".format(
+            self.name, self.format_id, self.record_size
+        )
+
+
+class FormatRegistry:
+    """Registry mapping format names/ids to :class:`RecordFormat`."""
+
+    def __init__(self):
+        self._by_name = {}
+        self._by_id = {}
+        self._next_id = 1
+
+    def register(self, name, fields):
+        """Register (or fetch the identical existing) format."""
+        existing = self._by_name.get(name)
+        if existing is not None:
+            if existing.fields != tuple((str(a), str(b)) for a, b in fields):
+                raise ValueError("format {} re-registered with different fields".format(name))
+            return existing
+        fmt = RecordFormat(self._next_id, name, fields)
+        self._next_id += 1
+        self._by_name[name] = fmt
+        self._by_id[fmt.format_id] = fmt
+        return fmt
+
+    def adopt(self, descriptor):
+        """Install a format from a peer's :meth:`RecordFormat.describe` blob."""
+        format_id, body_len = struct.unpack_from("<HH", descriptor)
+        body = descriptor[4:4 + body_len].decode("utf-8")
+        name, _, field_blob = body.partition("|")
+        fields = []
+        if field_blob:
+            for item in field_blob.split(";"):
+                fname, _, ftype = item.partition(":")
+                fields.append((fname, ftype))
+        fmt = RecordFormat(format_id, name, fields)
+        self._by_id[format_id] = fmt
+        self._by_name[name] = fmt
+        return fmt
+
+    def get(self, name):
+        return self._by_name[name]
+
+    def by_id(self, format_id):
+        return self._by_id[format_id]
+
+    def __contains__(self, name):
+        return name in self._by_name
+
+
+def encode_records(fmt, records):
+    """Encode an iterable of dict records into one framed binary blob."""
+    body = b"".join(fmt.pack(record) for record in records)
+    return _HEADER.pack(_MAGIC, fmt.format_id, len(body)) + body
+
+
+def decode_records(registry, blob):
+    """Decode a framed blob into ``(format, [records])``."""
+    magic, format_id, length = _HEADER.unpack_from(blob)
+    if magic != _MAGIC:
+        raise ValueError("bad record blob magic: {:#x}".format(magic))
+    fmt = registry.by_id(format_id)
+    body = blob[_HEADER.size:_HEADER.size + length]
+    if len(body) != length:
+        raise ValueError("truncated record blob")
+    size = fmt.record_size
+    if size == 0:
+        return fmt, []
+    if length % size:
+        raise ValueError("blob length {} not a multiple of record size {}".format(length, size))
+    records = [fmt.unpack(body[i:i + size]) for i in range(0, length, size)]
+    return fmt, records
+
+
+def encode_text(records):
+    """Baseline text encoding (repr lines) for the encoding-cost ablation."""
+    return "\n".join(repr(sorted(record.items())) for record in records).encode("utf-8")

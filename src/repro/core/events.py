@@ -1,0 +1,64 @@
+"""Monitoring event records and event-type interning.
+
+Kprof emits :class:`MonEvent` instances — timestamped with the node-local
+clock (GPA corrects cross-node skew later).  Event type names are
+interned to small integers ("efficient event hashing" in the paper) so
+binary encodings and dispatch tables stay compact.
+"""
+
+from repro.ossim.tracepoints import ALL_EVENT_TYPES
+
+# Stable interning of the static instrumentation points.
+ETYPE_IDS = {name: index for index, name in enumerate(ALL_EVENT_TYPES)}
+ETYPE_NAMES = {index: name for name, index in ETYPE_IDS.items()}
+_next_dynamic_id = len(ALL_EVENT_TYPES)
+
+
+def intern_etype(name):
+    """Intern an event type name (dynamic types get fresh ids)."""
+    global _next_dynamic_id
+    etype_id = ETYPE_IDS.get(name)
+    if etype_id is None:
+        etype_id = _next_dynamic_id
+        _next_dynamic_id += 1
+        ETYPE_IDS[name] = etype_id
+        ETYPE_NAMES[etype_id] = name
+    return etype_id
+
+
+class MonEvent:
+    """One monitoring event as delivered to analyzers.
+
+    ``ts`` is the node-local timestamp; ``node`` the emitting node name;
+    ``fields`` the tracepoint payload (a plain dict).
+    """
+
+    __slots__ = ("etype", "ts", "node", "fields")
+
+    def __init__(self, etype, ts, node, fields):
+        self.etype = etype
+        self.ts = ts
+        self.node = node
+        self.fields = fields
+
+    def get(self, name, default=None):
+        return self.fields.get(name, default)
+
+    def __getitem__(self, name):
+        return self.fields[name]
+
+    def __contains__(self, name):
+        return name in self.fields
+
+    def flow_tuple(self):
+        """(src_ip, src_port, dst_ip, dst_port) for network events."""
+        fields = self.fields
+        return (
+            fields["src_ip"],
+            fields["src_port"],
+            fields["dst_ip"],
+            fields["dst_port"],
+        )
+
+    def __repr__(self):
+        return "<MonEvent {} ts={:.6f} {}>".format(self.etype, self.ts, self.fields)

@@ -1,0 +1,345 @@
+"""The Global Performance Analyzer.
+
+Aggregates and correlates records arriving from every node's
+dissemination daemon: "it correlates the source and destination IP
+addresses, port information, and NTP timestamps in the logs from
+different nodes.  After aggregating the resource usage of each individual
+interaction, GPA computes the overall performance of the associated
+request-response pair.  Other nodes in the system can query the GPA ...
+The GPA periodically dumps its information onto local disk."
+"""
+
+import bisect
+import json
+from collections import deque
+
+from repro.core import encoding
+from repro.core.channels import SYSPROF_PORT_BASE
+
+
+class CausalPath:
+    """A correlated end-to-end request: the upstream (client-facing)
+    interaction plus the downstream interactions nested inside it."""
+
+    __slots__ = ("upstream", "downstream")
+
+    def __init__(self, upstream, downstream):
+        self.upstream = upstream
+        self.downstream = downstream
+
+    @property
+    def total_latency(self):
+        return self.upstream["total_latency"]
+
+    @property
+    def downstream_latency(self):
+        return sum(record["total_latency"] for record in self.downstream)
+
+    @property
+    def residual_latency(self):
+        """Time not accounted to any downstream node: network + local work."""
+        return self.total_latency - self.downstream_latency
+
+    def breakdown(self):
+        return {
+            "upstream_node": self.upstream["node"],
+            "total": self.total_latency,
+            "upstream_user": self.upstream["user_time"],
+            "upstream_kernel": self.upstream["kernel_time"],
+            "downstream": [
+                {
+                    "node": record["node"],
+                    "total": record["total_latency"],
+                    "kernel": record["kernel_time"],
+                    "user": record["user_time"],
+                }
+                for record in self.downstream
+            ],
+            "residual": self.residual_latency,
+        }
+
+
+class GlobalPerformanceAnalyzer:
+    """Receives channel data on a management node and answers queries."""
+
+    def __init__(self, node, hub, clock_table=None, port=SYSPROF_PORT_BASE,
+                 history=50000, dump_path=None, dump_interval=None):
+        self.node = node
+        self.hub = hub
+        self.clock_table = clock_table
+        self.port = port
+        self.registry = encoding.FormatRegistry()
+        self.interactions = deque(maxlen=history)
+        self.class_summaries = deque(maxlen=history)
+        self.cpa_metrics = deque(maxlen=history)
+        self.syscall_summaries = deque(maxlen=history)
+        self.node_stats = {}  # node -> deque of samples
+        self.records_received = 0
+        self.decode_errors = 0
+        self.queries_served = 0
+        self.dump_path = dump_path
+        self.dump_interval = dump_interval
+        self.dumps_written = 0
+        self._server_task = None
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+
+    def subscribe_all(self):
+        """Subscribe this GPA to the standard SysProf channels."""
+        for channel in (
+            "sysprof/sysprof.interaction",
+            "sysprof/sysprof.class_summary",
+            "sysprof/sysprof.nodestats",
+            "sysprof/sysprof.cpa",
+            "sysprof/sysprof.syscalls",
+        ):
+            self.hub.subscribe(channel, self.node.name, self.port)
+
+    def start(self):
+        if self._server_task is None:
+            self._server_task = self.node.spawn("gpa", self._server)
+            if self.dump_path and self.dump_interval:
+                self.node.spawn("gpa-dump", self._dumper)
+        return self._server_task
+
+    def stop(self):
+        self._stopped = True
+
+    def _server(self, ctx):
+        lsock = yield from ctx.listen(self.port)
+        while not self._stopped:
+            sock = yield from ctx.accept(lsock)
+            ctx.spawn("gpa-conn", self._handler, sock)
+
+    def _handler(self, ctx, sock):
+        while True:
+            message = yield from ctx.recv_message(sock)
+            if message is None:
+                break
+            meta = message.meta or {}
+            blob = meta.get("blob")
+            if message.kind == "sysprof-query":
+                yield from self._answer_query(ctx, sock, meta)
+            elif message.kind == "sysprof-fmt" and blob:
+                self.registry.adopt(blob)
+            elif message.kind == "sysprof-data" and blob:
+                if meta.get("text"):
+                    continue  # text ablation payloads are not decoded
+                try:
+                    fmt, records = encoding.decode_records(self.registry, blob)
+                except (KeyError, ValueError):
+                    self.decode_errors += 1
+                    continue
+                # Small per-record analysis cost at the global level.
+                yield from ctx.compute(2e-6 * len(records))
+                self.ingest(fmt.name, records)
+
+    def _answer_query(self, ctx, sock, meta):
+        """Serve one remote query (paper: "Other nodes in the system can
+        query the GPA")."""
+        from repro.core.query import GpaQueryError, execute_query
+
+        try:
+            result, size = execute_query(
+                self, meta.get("kind"), meta.get("params")
+            )
+            # Small per-query analysis cost at the GPA.
+            yield from ctx.compute(5e-6)
+            self.queries_served += 1
+            yield from ctx.send_message(
+                sock, size, kind="sysprof-result", meta={"result": result}
+            )
+        except (GpaQueryError, KeyError, TypeError, ValueError) as error:
+            yield from ctx.send_message(
+                sock, 96, kind="sysprof-result", meta={"error": str(error)}
+            )
+
+    def _dumper(self, ctx):
+        while not self._stopped:
+            yield from ctx.sleep(self.dump_interval)
+            self.dump()
+
+    # ------------------------------------------------------------------
+    # ingest + time correction
+    # ------------------------------------------------------------------
+
+    def ingest(self, format_name, records):
+        self.records_received += len(records)
+        if format_name == "sysprof.interaction":
+            for record in records:
+                self._correct_times(record)
+                self.interactions.append(record)
+        elif format_name == "sysprof.class_summary":
+            self.class_summaries.extend(records)
+        elif format_name == "sysprof.nodestats":
+            for record in records:
+                history = self.node_stats.setdefault(record["node"], deque(maxlen=512))
+                history.append(record)
+        elif format_name == "sysprof.cpa":
+            self.cpa_metrics.extend(records)
+        elif format_name == "sysprof.syscalls":
+            self.syscall_summaries.extend(records)
+
+    def _correct_times(self, record):
+        """Annotate with reference-timescale start/end via the clock table."""
+        node = record["node"]
+        if self.clock_table is not None and self.clock_table.known(node):
+            record["start_ref"] = self.clock_table.to_reference(node, record["start_ts"])
+            record["end_ref"] = self.clock_table.to_reference(node, record["end_ts"])
+        else:
+            record["start_ref"] = record["start_ts"]
+            record["end_ref"] = record["end_ts"]
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def query_interactions(self, node=None, request_class=None, since=None,
+                           client_ip=None, server_ip=None):
+        results = []
+        for record in self.interactions:
+            if node is not None and record["node"] != node:
+                continue
+            if request_class is not None and record["request_class"] != request_class:
+                continue
+            if since is not None and record["start_ref"] < since:
+                continue
+            if client_ip is not None and record["client_ip"] != client_ip:
+                continue
+            if server_ip is not None and record["server_ip"] != server_ip:
+                continue
+            results.append(record)
+        return results
+
+    def node_summary(self, node):
+        """Aggregate interaction metrics observed at one node."""
+        records = self.query_interactions(node=node)
+        if not records:
+            return {"node": node, "count": 0}
+        count = len(records)
+        return {
+            "node": node,
+            "count": count,
+            "mean_total": sum(r["total_latency"] for r in records) / count,
+            "mean_kernel_time": sum(r["kernel_time"] for r in records) / count,
+            "mean_kernel_wait": sum(r["kernel_wait"] for r in records) / count,
+            "mean_user_time": sum(r["user_time"] for r in records) / count,
+            "mean_io_blocked": sum(r["io_blocked"] for r in records) / count,
+        }
+
+    def server_load(self, node):
+        """Recent load of ``node`` from its nodestats stream.
+
+        Returns CPU utilization over the last sampling window plus queue
+        depths — the signal RA-DWCS uses to pick the lightly-loaded server.
+        """
+        history = self.node_stats.get(node)
+        if not history or len(history) < 2:
+            return None
+        last, prev = history[-1], history[-2]
+        span = last["ts"] - prev["ts"]
+        if span <= 0:
+            return None
+        return {
+            "node": node,
+            "cpu_utilization": max(0.0, (last["cpu_busy"] - prev["cpu_busy"]) / span),
+            "run_queue": last["run_queue"],
+            "rx_backlog_bytes": last["rx_backlog_bytes"],
+            "pending_interactions": last["pending_interactions"],
+            "ts": last["ts"],
+        }
+
+    def stale_nodes(self, now_ref, threshold):
+        """Failure suspicion: monitored nodes whose telemetry went quiet.
+
+        "A typical problem in these environments is to detect failures
+        and performance bottlenecks" (paper §3.2) — a node whose
+        dissemination daemon has not published a nodestats sample within
+        ``threshold`` of reference-time ``now_ref`` is suspected down
+        (crashed node, wedged kernel, or partitioned network).
+
+        Returns ``{node: seconds_since_last_sample}``.
+        """
+        suspects = {}
+        for node, history in self.node_stats.items():
+            if not history:
+                continue
+            last_ts = history[-1]["ts"]
+            if self.clock_table is not None and self.clock_table.known(node):
+                last_ts = self.clock_table.to_reference(node, last_ts)
+            age = now_ref - last_ts
+            if age > threshold:
+                suspects[node] = age
+        return suspects
+
+    # ------------------------------------------------------------------
+    # cross-node correlation
+    # ------------------------------------------------------------------
+
+    def correlate_paths(self, upstream_node, downstream_nodes, slack=2e-3):
+        """Build causal paths: downstream interactions nested (in corrected
+        time) inside each upstream interaction.
+
+        The upstream node is the one facing the original client (the NFS
+        proxy, the web front-end); downstream nodes serve it.  ``slack``
+        tolerates clock-correction error at the containment boundaries.
+        """
+        downstream_set = set(downstream_nodes)
+        downstream = sorted(
+            (record for record in self.interactions if record["node"] in downstream_set),
+            key=lambda record: record["start_ref"],
+        )
+        starts = [record["start_ref"] for record in downstream]
+        paths = []
+        for upstream in self.interactions:
+            if upstream["node"] != upstream_node:
+                continue
+            lo = bisect.bisect_left(starts, upstream["start_ref"] - slack)
+            nested = []
+            for record in downstream[lo:]:
+                if record["start_ref"] > upstream["end_ref"] + slack:
+                    break
+                if record["end_ref"] <= upstream["end_ref"] + slack:
+                    nested.append(record)
+            paths.append(CausalPath(upstream, nested))
+        return paths
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+
+    def dump(self, path=None):
+        """Write current state as JSON lines (auditing / offline modeling)."""
+        target = path or self.dump_path
+        if target is None:
+            raise ValueError("no dump path configured")
+        with open(target, "a", encoding="utf-8") as out:
+            header = {
+                "type": "gpa-dump",
+                "sim_time": self.node.sim.now,
+                "records_received": self.records_received,
+            }
+            out.write(json.dumps(header) + "\n")
+            for record in self.interactions:
+                out.write(json.dumps({"type": "interaction", **record}) + "\n")
+            for node, history in self.node_stats.items():
+                if history:
+                    out.write(json.dumps({"type": "nodestats", **history[-1]}) + "\n")
+        self.dumps_written += 1
+        return target
+
+    def stats(self):
+        return {
+            "records_received": self.records_received,
+            "interactions": len(self.interactions),
+            "class_summaries": len(self.class_summaries),
+            "cpa_metrics": len(self.cpa_metrics),
+            "syscall_summaries": len(self.syscall_summaries),
+            "nodes_reporting": sorted(self.node_stats),
+            "decode_errors": self.decode_errors,
+            "dumps_written": self.dumps_written,
+            "queries_served": self.queries_served,
+        }

@@ -1,0 +1,212 @@
+"""Kprof: the SysProf kernel monitoring interface.
+
+Kprof implements the kernel's :class:`~repro.ossim.tracepoints.Tracepoints`
+interface.  Analyzers (LPAs/CPAs) register callbacks for sets of event
+types, optionally guarded by predicates (pid, port range, arbitrary field
+tests).  When no analyzer subscribes to an event type it costs nothing —
+"when none of the analyzer(s) subscribes to events, all of them are
+turned off, resulting in almost negligible perturbation".
+
+Perturbation model: the kernel charges ``Kprof.cost(etype)`` to the
+simulated CPU *before* firing, covering the probe itself plus every
+subscribed callback's declared cost.  Callbacks run synchronously in the
+fast path and must not block (they are plain functions, not processes).
+"""
+
+from repro.core.events import MonEvent, intern_etype
+from repro.ossim.tracepoints import EVENT_CLASSES, Tracepoints
+
+
+class Subscription:
+    __slots__ = ("name", "callback", "predicate", "cost", "etypes")
+
+    def __init__(self, name, callback, predicate, cost, etypes):
+        self.name = name
+        self.callback = callback
+        self.predicate = predicate
+        self.cost = cost
+        self.etypes = frozenset(etypes)
+
+    def __repr__(self):
+        return "<Subscription {} {} events>".format(self.name, len(self.etypes))
+
+
+class Kprof(Tracepoints):
+    """Per-node monitoring hub; install with :meth:`attach`."""
+
+    def __init__(self, kernel, monitor_costs=None):
+        self.kernel = kernel
+        self.costs = monitor_costs or kernel.costs
+        self._subs = {}  # etype -> [Subscription]
+        self._cost_cache = {}
+        self._masked = set()  # event types force-disabled by the controller
+        self.events_fired = {}
+        self.events_suppressed = 0
+        self.attached = False
+
+    def attach(self):
+        """Patch the kernel: install Kprof as its tracepoint implementation."""
+        self.kernel.set_tracepoints(self)
+        self.attached = True
+        self.kernel.procfs.register("/proc/sysprof/kprof", self._render_stats)
+        return self
+
+    def _render_stats(self):
+        lines = ["kprof node={}".format(self.kernel.name)]
+        lines.append("suppressed={}".format(self.events_suppressed))
+        lines.append("masked={}".format(",".join(sorted(self._masked)) or "-"))
+        for etype in sorted(self.events_fired):
+            lines.append("fired {}={}".format(etype, self.events_fired[etype]))
+        return "\n".join(lines) + "\n"
+
+    def detach(self):
+        """Restore the unpatched kernel (all probes compiled out)."""
+        from repro.ossim.tracepoints import NULL_TRACEPOINTS
+
+        self.kernel.set_tracepoints(NULL_TRACEPOINTS)
+        self.attached = False
+
+    # ------------------------------------------------------------------
+    # subscription management
+    # ------------------------------------------------------------------
+
+    def subscribe(self, etypes, callback, predicate=None, cost=None, name="lpa"):
+        """Deliver events of the given types to ``callback(event)``.
+
+        ``cost`` is the simulated CPU seconds one invocation costs
+        (defaults to the cost model's ``lpa_callback``).  Returns the
+        :class:`Subscription`, which is the unsubscribe handle.
+        """
+        etypes = self._expand(etypes)
+        if cost is None:
+            cost = self.costs.lpa_callback
+        sub = Subscription(name, callback, predicate, cost, etypes)
+        for etype in etypes:
+            intern_etype(etype)
+            self._subs.setdefault(etype, []).append(sub)
+        self._cost_cache.clear()
+        return sub
+
+    def unsubscribe(self, sub):
+        for etype in sub.etypes:
+            subs = self._subs.get(etype)
+            if subs and sub in subs:
+                subs.remove(sub)
+                if not subs:
+                    del self._subs[etype]
+        self._cost_cache.clear()
+
+    def mask(self, etypes):
+        """Force-disable event types regardless of subscriptions (controller)."""
+        self._masked.update(self._expand(etypes))
+        self._cost_cache.clear()
+
+    def unmask(self, etypes):
+        self._masked.difference_update(self._expand(etypes))
+        self._cost_cache.clear()
+
+    @staticmethod
+    def _expand(etypes):
+        """Expand event class names ('network') into their member types."""
+        if isinstance(etypes, str):
+            etypes = [etypes]
+        expanded = []
+        for etype in etypes:
+            if etype in EVENT_CLASSES:
+                expanded.extend(EVENT_CLASSES[etype])
+            else:
+                expanded.append(etype)
+        return expanded
+
+    # ------------------------------------------------------------------
+    # Tracepoints interface (hot path)
+    # ------------------------------------------------------------------
+
+    def enabled(self, etype):
+        return etype in self._subs and etype not in self._masked
+
+    def cost(self, etype):
+        cached = self._cost_cache.get(etype)
+        if cached is not None:
+            return cached
+        if etype in self._masked or etype not in self._subs:
+            total = self.costs.probe_disabled
+        else:
+            total = self.costs.probe_fire
+            for sub in self._subs[etype]:
+                total += sub.cost
+        self._cost_cache[etype] = total
+        return total
+
+    def fire(self, etype, sim_ts=None, **fields):
+        subs = self._subs.get(etype)
+        if not subs or etype in self._masked:
+            return
+        sim_now = self.kernel.sim.now if sim_ts is None else sim_ts
+        ts = self.kernel.clock.local_time(sim_now)
+        event = MonEvent(etype, ts, self.kernel.name, fields)
+        self.events_fired[etype] = self.events_fired.get(etype, 0) + 1
+        for sub in list(subs):
+            if sub.predicate is not None and not sub.predicate(event):
+                self.events_suppressed += 1
+                continue
+            sub.callback(event)
+
+    # ------------------------------------------------------------------
+
+    def stats(self):
+        return {
+            "fired": dict(self.events_fired),
+            "suppressed": self.events_suppressed,
+            "subscribed_types": sorted(self._subs),
+            "masked": sorted(self._masked),
+        }
+
+
+# ----------------------------------------------------------------------
+# predicate helpers ("events can be pruned on the basis of process IDs,
+# group IDs, or other such predicates")
+# ----------------------------------------------------------------------
+
+def pid_predicate(pids):
+    """Keep only events whose pid/sock_pid is in ``pids``."""
+    pids = frozenset(pids)
+
+    def check(event):
+        pid = event.get("pid", event.get("sock_pid"))
+        return pid in pids
+
+    return check
+
+
+def exclude_port_range(low, high):
+    """Drop network events touching ports in [low, high] (e.g. SysProf's own
+    dissemination traffic)."""
+
+    def check(event):
+        for key in ("src_port", "dst_port"):
+            port = event.get(key)
+            if port is not None and low <= port <= high:
+                return False
+        return True
+
+    return check
+
+
+def field_predicate(name, allowed):
+    """Keep events whose field ``name`` is in ``allowed``."""
+    allowed = frozenset(allowed)
+
+    def check(event):
+        return event.get(name) in allowed
+
+    return check
+
+
+def all_of(*predicates):
+    """Conjunction of predicates."""
+
+    def check(event):
+        return all(p(event) for p in predicates)
+
+    return check

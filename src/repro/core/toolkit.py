@@ -1,0 +1,213 @@
+"""The SysProf toolkit facade: install, start, query, stop.
+
+Wires the five architectural components onto a simulated cluster:
+Kprof (per node), LPAs (per node), the dissemination daemon (per node),
+publish-subscribe channels, the GPA (one management node), and the
+controller.  This is the public entry point downstream users should
+reach for::
+
+    cluster = Cluster(seed=1)
+    ...  # build nodes and applications
+    sysprof = SysProf(cluster)
+    sysprof.install(monitored=["proxy", "backend"], gpa_node="mgmt")
+    sysprof.start()
+    ...  # run the workload
+    summary = sysprof.gpa.node_summary("proxy")
+"""
+
+from dataclasses import dataclass, field
+
+from repro.core.channels import (
+    SYSPROF_PORT_BASE,
+    SYSPROF_PORT_LIMIT,
+    ChannelHub,
+)
+from repro.core.controller import Controller
+from repro.core.daemon import DisseminationDaemon
+from repro.core.gpa import GlobalPerformanceAnalyzer
+from repro.core.kprof import Kprof, exclude_port_range
+from repro.core.lpa import InteractionLPA, NodeStatsLPA, SyscallLPA
+
+
+@dataclass
+class SysProfConfig:
+    """Tunables for an installation (the controller can change most at runtime)."""
+
+    buffer_capacity: int = 256
+    window_size: int = 128
+    eviction_interval: float = 0.25
+    granularity: str = "interaction"
+    idle_timeout: float = 1.0
+    nodestats: bool = True
+    syscall_stats: bool = False  # per-syscall latency aggregation LPA
+    arm_correlation: bool = False  # pair interleaved requests by ARM token
+    exclude_self_traffic: bool = True
+    gpa_port: int = SYSPROF_PORT_BASE
+    gpa_history: int = 50000
+    dump_path: str = None
+    dump_interval: float = None
+    text_encoding: bool = False  # ablation: ship text instead of PBIO binary
+    daemon_affinity: int = None  # pin sysprofd to a core (SMP nodes)
+    extra: dict = field(default_factory=dict)
+
+
+class NodeMonitor:
+    """Everything SysProf runs on one monitored node."""
+
+    def __init__(self, node, kprof, interaction_lpa, nodestats_lpa, daemon,
+                 syscall_lpa=None):
+        self.node = node
+        self.kernel = node.kernel
+        self.kprof = kprof
+        self.interaction_lpa = interaction_lpa
+        self.nodestats_lpa = nodestats_lpa
+        self.syscall_lpa = syscall_lpa
+        self.daemon = daemon
+        self.cpas = {}
+
+    def all_lpas(self):
+        lpas = []
+        if self.interaction_lpa is not None:
+            lpas.append(self.interaction_lpa)
+        if self.nodestats_lpa is not None:
+            lpas.append(self.nodestats_lpa)
+        if self.syscall_lpa is not None:
+            lpas.append(self.syscall_lpa)
+        lpas.extend(self.cpas.values())
+        return lpas
+
+
+class SysProf:
+    """An installation of the toolkit on a cluster."""
+
+    def __init__(self, cluster, config=None, clock_table=None):
+        self.cluster = cluster
+        self.config = config or SysProfConfig()
+        self.clock_table = clock_table
+        self.hub = ChannelHub()
+        self.monitors = {}
+        self.gpa = None
+        self.controller = Controller(self)
+        self._started = False
+
+    # ------------------------------------------------------------------
+
+    def install(self, monitored=None, gpa_node=None):
+        """Install Kprof/LPAs/daemons on ``monitored`` nodes (default: all)
+        and the GPA on ``gpa_node`` (default: no global analyzer)."""
+        if monitored is None:
+            monitored = list(self.cluster.nodes)
+        for name in monitored:
+            self._install_node(self.cluster.node(name))
+        if gpa_node is not None:
+            node = self.cluster.node(gpa_node)
+            self.gpa = GlobalPerformanceAnalyzer(
+                node, self.hub, clock_table=self.clock_table,
+                port=self.config.gpa_port, history=self.config.gpa_history,
+                dump_path=self.config.dump_path,
+                dump_interval=self.config.dump_interval,
+            )
+            self.gpa.subscribe_all()
+        return self
+
+    def _install_node(self, node):
+        config = self.config
+        kprof = Kprof(node.kernel).attach()
+        predicate = None
+        if config.exclude_self_traffic:
+            predicate = exclude_port_range(SYSPROF_PORT_BASE, SYSPROF_PORT_LIMIT)
+        interaction_lpa = InteractionLPA(
+            node.kernel, kprof,
+            buffer_capacity=config.buffer_capacity,
+            window_size=config.window_size,
+            predicate=predicate,
+            granularity=config.granularity,
+            idle_timeout=config.idle_timeout,
+            arm=config.arm_correlation,
+        )
+        affinity = config.daemon_affinity
+        if affinity is not None and affinity >= node.kernel.cpu_count:
+            affinity = None  # uniprocessor nodes ignore the pin
+        daemon = DisseminationDaemon(
+            node, self.hub,
+            eviction_interval=config.eviction_interval,
+            text_encoding=config.text_encoding,
+            affinity=affinity,
+        )
+        daemon.add_lpa(interaction_lpa)
+        nodestats_lpa = None
+        if config.nodestats:
+            tracker = interaction_lpa.tracker
+            nodestats_lpa = NodeStatsLPA(
+                node.kernel, kprof,
+                pending_probe=lambda tracker=tracker: _pending_interactions(tracker),
+            )
+            daemon.add_lpa(nodestats_lpa)
+        syscall_lpa = None
+        if config.syscall_stats:
+            syscall_lpa = SyscallLPA(node.kernel, kprof)
+            daemon.add_lpa(syscall_lpa)
+        self.monitors[node.name] = NodeMonitor(
+            node, kprof, interaction_lpa, nodestats_lpa, daemon,
+            syscall_lpa=syscall_lpa,
+        )
+
+    # ------------------------------------------------------------------
+
+    def start(self):
+        """Activate all analyzers, daemons, and the GPA."""
+        if self._started:
+            return self
+        if self.gpa is not None:
+            self.gpa.start()
+        for monitor in self.monitors.values():
+            for lpa in monitor.all_lpas():
+                lpa.start()
+            monitor.daemon.start()
+        self._started = True
+        return self
+
+    def stop(self):
+        """Unsubscribe everything; kernels revert to negligible-cost probes."""
+        for monitor in self.monitors.values():
+            for lpa in monitor.all_lpas():
+                lpa.stop()
+            monitor.daemon.stop()
+        if self.gpa is not None:
+            self.gpa.stop()
+        self._started = False
+
+    # ------------------------------------------------------------------
+
+    def monitor(self, node_name):
+        return self.monitors[node_name]
+
+    def lpa(self, node_name):
+        return self.monitors[node_name].interaction_lpa
+
+    def kprof(self, node_name):
+        return self.monitors[node_name].kprof
+
+    def flush(self, settle=0.5):
+        """End-of-run flush: close open interactions, evict buffers, and run
+        the simulator briefly so in-flight channel messages reach the GPA."""
+        for monitor in self.monitors.values():
+            if monitor.interaction_lpa is not None:
+                monitor.interaction_lpa.flush_tracker()
+            for lpa in monitor.all_lpas():
+                lpa.evict()
+        self.cluster.sim.run(until=self.cluster.sim.now + settle)
+
+    def local_window(self, node_name):
+        """Direct read of a node's recent-interaction window (local query)."""
+        return self.monitors[node_name].interaction_lpa.window_snapshot()
+
+
+def _pending_interactions(tracker):
+    """Load signal: inbound requests seen but not yet answered."""
+    pending = 0
+    for flow in tracker.flows.values():
+        pending += sum(
+            1 for message in flow.undelivered if message.deliver_ts is None
+        )
+    return pending

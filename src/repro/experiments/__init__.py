@@ -1,0 +1,42 @@
+"""One driver per paper table/figure (see DESIGN.md's experiment index)."""
+
+from repro.experiments.common import Series, format_table, mean, mean_field
+from repro.experiments.microbench import (
+    OverheadResult,
+    iperf_experiment,
+    linpack_experiment,
+    overhead_range_experiment,
+)
+from repro.experiments.nfs_storage import (
+    NfsExperimentConfig,
+    NfsRunResult,
+    run_nfs_experiment,
+    run_thread_sweep,
+)
+from repro.experiments.rubis_qos import (
+    RubisExperimentConfig,
+    RubisRunResult,
+    monitoring_cost_experiment,
+    run_comparison,
+    run_rubis_experiment,
+)
+
+__all__ = [
+    "NfsExperimentConfig",
+    "NfsRunResult",
+    "OverheadResult",
+    "RubisExperimentConfig",
+    "RubisRunResult",
+    "Series",
+    "format_table",
+    "iperf_experiment",
+    "linpack_experiment",
+    "mean",
+    "mean_field",
+    "monitoring_cost_experiment",
+    "overhead_range_experiment",
+    "run_comparison",
+    "run_nfs_experiment",
+    "run_rubis_experiment",
+    "run_thread_sweep",
+]

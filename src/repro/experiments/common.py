@@ -1,0 +1,66 @@
+"""Shared experiment plumbing."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Series:
+    """A named series of (x, y) points for one figure."""
+
+    name: str
+    points: list = field(default_factory=list)
+
+    def add(self, x, y):
+        self.points.append((x, y))
+
+    @property
+    def xs(self):
+        return [x for x, _ in self.points]
+
+    @property
+    def ys(self):
+        return [y for _, y in self.points]
+
+
+def mean(values):
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+def mean_field(records, key):
+    return mean(record[key] for record in records)
+
+
+def format_table(headers, rows, title=None):
+    """Render an aligned ASCII table."""
+    columns = [
+        [str(header)] + [_fmt(row[i]) for row in rows]
+        for i, header in enumerate(headers)
+    ]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        str(h).ljust(widths[i]) for i, h in enumerate(headers)
+    )
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(_fmt(row[i]).ljust(widths[i]) for i in range(len(headers)))
+        )
+    return "\n".join(lines)
+
+
+def _fmt(value):
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 100:
+            return "{:.0f}".format(value)
+        if magnitude >= 1:
+            return "{:.2f}".format(value)
+        return "{:.4f}".format(value)
+    return str(value)

@@ -1,0 +1,9 @@
+"""Network fabric simulation: packets, NICs, links, and switches."""
+
+from repro.netsim.packet import Address, FlowKey, Packet
+from repro.netsim.link import Link
+from repro.netsim.nic import Nic
+from repro.netsim.switch import Switch
+from repro.netsim.fabric import Fabric
+
+__all__ = ["Address", "Fabric", "FlowKey", "Link", "Nic", "Packet", "Switch"]

@@ -1,0 +1,52 @@
+"""Cluster network fabric: names, addresses, and the LAN topology."""
+
+from repro.netsim.packet import Address
+from repro.netsim.nic import Nic
+from repro.netsim.switch import Switch
+
+
+class Fabric:
+    """The LAN connecting a cluster's nodes through one switch.
+
+    Responsible for IP assignment and NIC creation.  Experiments ask the
+    fabric for link statistics (utilization, queueing) to report network
+    health alongside SysProf's own measurements.
+    """
+
+    def __init__(self, sim, bandwidth_bps=1_000_000_000, latency=50e-6,
+                 loss_rate=0.0, rng=None, name="lan0"):
+        self.sim = sim
+        self.name = name
+        self.bandwidth_bps = bandwidth_bps
+        self.latency = latency
+        self.switch = Switch(
+            sim, bandwidth_bps, latency, loss_rate=loss_rate, rng=rng,
+            name="{}-sw".format(name),
+        )
+        self._next_host = 1
+        self.nics = {}
+
+    def allocate_ip(self):
+        ip = "10.0.0.{}".format(self._next_host)
+        self._next_host += 1
+        return ip
+
+    def create_nic(self, ip=None, bandwidth_bps=None, latency=None):
+        """Create a NIC, attach it to the switch, and return it."""
+        ip = ip or self.allocate_ip()
+        if ip in self.nics:
+            raise ValueError("duplicate IP on fabric: {}".format(ip))
+        nic = Nic(self.sim, ip)
+        self.switch.attach(nic, bandwidth_bps=bandwidth_bps, latency=latency)
+        self.nics[ip] = nic
+        return nic
+
+    def address(self, ip, port):
+        return Address(ip, port)
+
+    def stats(self):
+        return {
+            "forwarded": self.switch.forwarded,
+            "unroutable": self.switch.unroutable,
+            "ports": {ip: self.switch.port_stats(ip) for ip in self.nics},
+        }

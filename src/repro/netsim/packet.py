@@ -1,0 +1,119 @@
+"""Packets and endpoint addressing.
+
+Addresses are ``(ip, port)`` pairs exactly as in the paper's definition of
+communicating nodes: "node_A (identified by {node_A IP, node_A port} pair)".
+A :class:`FlowKey` canonicalizes the two endpoints of a conversation so
+that both directions of a flow hash to the same key — the basis of the
+message/interaction extraction in :mod:`repro.core.interactions`.
+"""
+
+from itertools import count
+
+
+class Address(tuple):
+    """An ``(ip, port)`` endpoint."""
+
+    __slots__ = ()
+
+    def __new__(cls, ip, port):
+        return super().__new__(cls, (ip, int(port)))
+
+    @property
+    def ip(self):
+        return self[0]
+
+    @property
+    def port(self):
+        return self[1]
+
+    def __repr__(self):
+        return "{}:{}".format(self[0], self[1])
+
+
+class FlowKey(tuple):
+    """Direction-independent identifier of a conversation between two endpoints."""
+
+    __slots__ = ()
+
+    def __new__(cls, addr_a, addr_b):
+        ends = sorted([tuple(addr_a), tuple(addr_b)])
+        return super().__new__(cls, (ends[0], ends[1]))
+
+    @property
+    def low(self):
+        return Address(*self[0])
+
+    @property
+    def high(self):
+        return Address(*self[1])
+
+    def __repr__(self):
+        return "flow({}<->{})".format(Address(*self[0]), Address(*self[1]))
+
+
+_packet_ids = count(1)
+
+
+class Packet:
+    """A network packet.
+
+    ``size`` counts payload bytes; ``wire_size`` adds header overhead.
+    ``message`` optionally references the application message the packet
+    is a segment of (delivered to the destination socket when the last
+    segment arrives).  ``frames`` supports train aggregation: one simulated
+    packet standing in for ``frames`` back-to-back MTU frames, with all
+    serialization and per-packet CPU costs scaled accordingly.
+    """
+
+    __slots__ = (
+        "packet_id",
+        "src",
+        "dst",
+        "size",
+        "kind",
+        "message",
+        "seq",
+        "is_last",
+        "frames",
+        "sent_at",
+        "meta",
+    )
+
+    HEADER_BYTES = 66  # Ethernet + IP + TCP headers
+
+    def __init__(
+        self,
+        src,
+        dst,
+        size,
+        kind="data",
+        message=None,
+        seq=0,
+        is_last=True,
+        frames=1,
+        meta=None,
+    ):
+        self.packet_id = next(_packet_ids)
+        self.src = src
+        self.dst = dst
+        self.size = int(size)
+        self.kind = kind
+        self.message = message
+        self.seq = seq
+        self.is_last = is_last
+        self.frames = frames
+        self.sent_at = None
+        self.meta = meta
+
+    @property
+    def wire_size(self):
+        return self.size + self.HEADER_BYTES * self.frames
+
+    @property
+    def flow_key(self):
+        return FlowKey(self.src, self.dst)
+
+    def __repr__(self):
+        return "<Packet #{} {}->{} {}B {}>".format(
+            self.packet_id, self.src, self.dst, self.size, self.kind
+        )

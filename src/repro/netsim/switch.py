@@ -1,0 +1,67 @@
+"""Output-queued Ethernet-like switch."""
+
+from repro.netsim.link import Link
+
+
+class Switch:
+    """A store-and-forward switch with per-output-port serialization.
+
+    Each attached NIC gets an uplink (NIC → switch, owned by the NIC's TX
+    pump) and a downlink (switch → NIC, owned by the switch).  Forwarding
+    looks up the destination IP and enqueues on that port's downlink; the
+    downlink's queue is where receive-side congestion forms.
+    """
+
+    def __init__(self, sim, bandwidth_bps, latency, forward_delay=5e-6, name="sw0",
+                 loss_rate=0.0, rng=None):
+        self.sim = sim
+        self.bandwidth_bps = bandwidth_bps
+        self.latency = latency
+        self.forward_delay = forward_delay
+        self.name = name
+        self.loss_rate = loss_rate
+        self._rng = rng
+        self._downlinks = {}  # ip -> Link towards that NIC
+        self._uplinks = {}  # ip -> Link from that NIC into the switch
+        self.forwarded = 0
+        self.unroutable = 0
+
+    def attach(self, nic, bandwidth_bps=None, latency=None):
+        """Attach a NIC; per-port bandwidth/latency may override the default."""
+        bw = bandwidth_bps or self.bandwidth_bps
+        lat = latency if latency is not None else self.latency
+        downlink = Link(
+            self.sim, bw, lat, nic.receive,
+            loss_rate=self.loss_rate, rng=self._rng,
+            name="{}->{}".format(self.name, nic.ip),
+        )
+        uplink = Link(
+            self.sim, bw, lat, self._forward,
+            loss_rate=self.loss_rate, rng=self._rng,
+            name="{}->{}".format(nic.ip, self.name),
+        )
+        self._downlinks[nic.ip] = downlink
+        self._uplinks[nic.ip] = uplink
+        nic.attach(uplink)
+        return downlink
+
+    def _forward(self, packet):
+        downlink = self._downlinks.get(packet.dst.ip)
+        if downlink is None:
+            self.unroutable += 1
+            return
+        self.forwarded += 1
+        if self.forward_delay:
+            self.sim.schedule(self.forward_delay, downlink.transmit, packet)
+        else:
+            downlink.transmit(packet)
+
+    def port_stats(self, ip):
+        """TX/queue statistics for the downlink serving ``ip``."""
+        link = self._downlinks[ip]
+        return {
+            "tx_packets": link.tx_packets,
+            "tx_bytes": link.tx_bytes,
+            "queued": link.queue_depth,
+            "busy_time": link.busy_time,
+        }

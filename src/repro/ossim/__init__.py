@@ -1,0 +1,39 @@
+"""Simulated Linux-like operating system: the substrate SysProf instruments."""
+
+from repro.ossim.costs import DEFAULT_COSTS, CostModel
+from repro.ossim.kernel import Kernel
+from repro.ossim.task import (
+    BAND_IRQ,
+    BAND_KERNEL,
+    BAND_USER,
+    TASK_BLOCKED,
+    TASK_EXITED,
+    TASK_READY,
+    TASK_RUNNING,
+    Task,
+)
+from repro.ossim.taskctx import TaskContext
+from repro.ossim.sockets import AppMessage, ByteCredits, ListeningSocket, Socket
+from repro.ossim.tracepoints import NULL_TRACEPOINTS, NullTracepoints, Tracepoints
+
+__all__ = [
+    "AppMessage",
+    "BAND_IRQ",
+    "BAND_KERNEL",
+    "BAND_USER",
+    "ByteCredits",
+    "CostModel",
+    "DEFAULT_COSTS",
+    "Kernel",
+    "ListeningSocket",
+    "NULL_TRACEPOINTS",
+    "NullTracepoints",
+    "Socket",
+    "TASK_BLOCKED",
+    "TASK_EXITED",
+    "TASK_READY",
+    "TASK_RUNNING",
+    "Task",
+    "TaskContext",
+    "Tracepoints",
+]

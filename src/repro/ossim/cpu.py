@@ -1,0 +1,258 @@
+"""Preemptive priority CPU with quantum round-robin and context-switch cost.
+
+The CPU serves three bands (see :mod:`repro.ossim.task`):
+
+* ``BAND_IRQ`` — interrupt work; runs to completion, preempts lower bands
+  immediately (this is the "system-level asynchrony" the paper names as
+  the reason middleware cannot account for kernel resource usage);
+* ``BAND_KERNEL`` — kernel daemons;
+* ``BAND_USER`` — user tasks, time-sliced round-robin.
+
+Work is submitted as ``(task, seconds, mode)`` items; the returned
+waitable triggers with a ``(start, end)`` tuple when the cumulative grant
+reaches the requested amount, letting callers backfill precise per-layer
+event timestamps for contiguous segments.
+"""
+
+from collections import deque
+
+from repro.sim.engine import Waitable
+from repro.sim.errors import Interrupt
+from repro.sim.resources import Gate
+from repro.ossim.task import BAND_IRQ, BAND_USER, TASK_READY, TASK_RUNNING
+from repro.ossim import tracepoints as tp
+
+_EPSILON = 1e-12
+
+
+class WorkItem:
+    __slots__ = ("task", "remaining", "mode", "band", "done", "started_at", "submitted_at")
+
+    def __init__(self, task, amount, mode, band, done, submitted_at):
+        self.task = task
+        self.remaining = amount
+        self.mode = mode
+        self.band = band
+        self.done = done
+        self.started_at = None
+        self.submitted_at = submitted_at
+
+
+class Cpu:
+    """A single core; the paper's testbed nodes were uniprocessors."""
+
+    def __init__(self, sim, kernel, costs, index=0):
+        self.sim = sim
+        self.kernel = kernel
+        self.costs = costs
+        self.index = index
+        self._queues = (deque(), deque(), deque())
+        self._wakeup = Gate(sim)
+        self._running = None
+        self._last_task = None
+        self.busy_time = 0.0
+        self.mode_time = {"user": 0.0, "kernel": 0.0, "ctx": 0.0}
+        self.ctx_switch_count = 0
+        self.cpu_set = None  # populated when this core belongs to a CpuSet
+        self._proc = sim.process(
+            self._loop(), name="cpu{}@{}".format(index, kernel.name)
+        )
+
+    # ------------------------------------------------------------------
+
+    def submit(self, task, amount, mode="user", band=None):
+        """Request ``amount`` seconds of CPU; returns a waitable -> (start, end)."""
+        if amount < 0:
+            raise ValueError("negative CPU demand: {}".format(amount))
+        if band is None:
+            band = task.band if task is not None else BAND_IRQ
+        done = Waitable(self.sim)
+        if amount <= _EPSILON:
+            done.succeed((self.sim.now, self.sim.now))
+            return done
+        item = WorkItem(task, amount, mode, band, done, self.sim.now)
+        self._queues[band].append(item)
+        running = self._running
+        if running is None:
+            self._wakeup.fire()
+        elif band < running.band:
+            self._proc.interrupt("preempt")
+        return done
+
+    @property
+    def run_queue_length(self):
+        return sum(len(q) for q in self._queues) + (1 if self._running else 0)
+
+    def utilization(self, now):
+        return self.busy_time / now if now > 0 else 0.0
+
+    # ------------------------------------------------------------------
+
+    def _pick(self):
+        for queue in self._queues:
+            if queue:
+                return queue.popleft()
+        return None
+
+    def _loop(self):
+        sim = self.sim
+        costs = self.costs
+        while True:
+            item = self._pick()
+            if item is None and self.cpu_set is not None:
+                item = self.cpu_set.steal(self)
+            if item is None:
+                self._running = None
+                try:
+                    yield self._wakeup.wait()
+                except Interrupt:
+                    pass  # spurious: preempt landed after the slice ended
+                continue
+
+            self._running = item
+            overhead = 0.0
+            if item.task is not None and item.task is not self._last_task:
+                overhead = costs.context_switch
+                overhead += self.kernel.tracepoints.cost(tp.SCHED_SWITCH)
+                self._fire_switch(self._last_task, item.task)
+                self._last_task = item.task
+                self.ctx_switch_count += 1
+                item.task.ctx_switches += 1
+
+            if item.task is not None:
+                item.task.state = TASK_RUNNING
+            if item.started_at is None:
+                item.started_at = sim.now + overhead
+
+            slice_target = item.remaining
+            if item.band != BAND_IRQ:
+                slice_target = min(costs.quantum, item.remaining)
+
+            start = sim.now
+            preempted = False
+            try:
+                yield sim.timeout(overhead + slice_target)
+                ran = slice_target
+            except Interrupt:
+                elapsed = sim.now - start
+                ran = max(0.0, elapsed - overhead)
+                overhead = min(overhead, elapsed)
+                preempted = True
+
+            self.busy_time += ran + overhead
+            self.mode_time["ctx"] += overhead
+            self.mode_time["user" if item.mode == "user" else "kernel"] += ran
+            if item.task is not None:
+                item.task.charge(item.mode, ran)
+
+            item.remaining -= ran
+            if item.remaining <= _EPSILON:
+                if item.task is not None and item.task.state == TASK_RUNNING:
+                    item.task.state = TASK_READY
+                item.done.succeed((item.started_at, sim.now))
+            elif preempted:
+                self._queues[item.band].appendleft(item)
+            else:
+                self._queues[item.band].append(item)
+                if item.task is not None and item.task.state == TASK_RUNNING:
+                    item.task.state = TASK_READY
+
+    def _fire_switch(self, prev, nxt):
+        self.kernel.tracepoints.fire(
+            tp.SCHED_SWITCH,
+            prev_pid=prev.pid if prev is not None else 0,
+            prev_name=prev.name if prev is not None else "swapper",
+            next_pid=nxt.pid,
+            next_name=nxt.name,
+        )
+
+
+class CpuSet:
+    """SMP: several cores behind one submission interface.
+
+    The paper's testbed was uniprocessor, but its conclusion anticipates
+    multi-core: "it won't be unusual to have a core dedicated to the
+    analysis of the services that run on that platform".  The set routes:
+
+    * interrupt work (``task is None``) to core 0, as commodity kernels
+      default to;
+    * pinned tasks (``task.affinity`` set) to their core;
+    * everything else to the shortest run queue (deterministic
+      tie-break by core index) — a simple load-balancing placement with
+      per-burst migration.
+
+    Aggregated accounting keeps the rest of the kernel (and SysProf's
+    node statistics) oblivious to the core count.
+    """
+
+    def __init__(self, sim, kernel, costs, count):
+        if count < 1:
+            raise ValueError("a node needs at least one CPU")
+        self.sim = sim
+        self.kernel = kernel
+        self.costs = costs
+        self.cores = [Cpu(sim, kernel, costs, index=i) for i in range(count)]
+        for core in self.cores:
+            core.cpu_set = self
+        self.steals = 0
+
+    def __len__(self):
+        return len(self.cores)
+
+    def steal(self, thief):
+        """Work stealing: an idle core pulls a queued (unpinned, non-IRQ)
+        item from a sibling's run queue tail."""
+        for core in self.cores:
+            if core is thief:
+                continue
+            for band in (1, 2):  # kernel daemons first, then user
+                queue = core._queues[band]
+                for position in range(len(queue) - 1, -1, -1):
+                    item = queue[position]
+                    if item.task is None or item.task.affinity is not None:
+                        continue
+                    del queue[position]
+                    self.steals += 1
+                    return item
+        return None
+
+    def core(self, index):
+        return self.cores[index]
+
+    def submit(self, task, amount, mode="user", band=None):
+        if task is None:
+            target = self.cores[0]
+        elif getattr(task, "affinity", None) is not None:
+            target = self.cores[task.affinity]
+        else:
+            target = min(
+                self.cores, key=lambda core: (core.run_queue_length, core.index)
+            )
+        return target.submit(task, amount, mode=mode, band=band)
+
+    # -- aggregated accounting -----------------------------------------
+
+    @property
+    def busy_time(self):
+        return sum(core.busy_time for core in self.cores)
+
+    @property
+    def mode_time(self):
+        total = {"user": 0.0, "kernel": 0.0, "ctx": 0.0}
+        for core in self.cores:
+            for key, value in core.mode_time.items():
+                total[key] += value
+        return total
+
+    @property
+    def ctx_switch_count(self):
+        return sum(core.ctx_switch_count for core in self.cores)
+
+    @property
+    def run_queue_length(self):
+        return sum(core.run_queue_length for core in self.cores)
+
+    def utilization(self, now):
+        if now <= 0:
+            return 0.0
+        return self.busy_time / (now * len(self.cores))

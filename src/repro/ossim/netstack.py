@@ -1,0 +1,181 @@
+"""The kernel network stack: segmentation, TX/RX protocol processing.
+
+Transmit runs in the sending task's kernel context (as in Linux, where
+``send()`` does protocol processing on the caller's time).  Receive runs
+in interrupt context (``BAND_IRQ``), which preempts whatever task is
+running — the "system-level asynchrony" the paper identifies as the
+reason user-level monitors mis-attribute resource usage.
+
+Every packet crossing a layer fires the corresponding static tracepoint;
+per-layer timestamps are backfilled from the contiguous CPU segment the
+processing ran in, so per-layer latencies (Figure 1's L values) are exact.
+"""
+
+import math
+
+from repro.netsim.packet import Packet
+from repro.ossim.task import BAND_IRQ
+from repro.ossim import tracepoints as tp
+
+_TX_EVENTS = (tp.NET_TX_SOCK, tp.NET_TX_IP, tp.NET_TX_DRIVER)
+_RX_EVENTS = (tp.NET_RX_DRIVER, tp.NET_RX_IP, tp.NET_RX_TRANSPORT, tp.SOCK_ENQUEUE)
+
+
+class NetStack:
+    def __init__(self, kernel, nic, costs):
+        self.kernel = kernel
+        self.nic = nic
+        self.costs = costs
+        nic.rx_handler = self._rx_interrupt
+        self.tx_packets = 0
+        self.rx_packets = 0
+        self.rx_no_socket = 0
+
+    # ------------------------------------------------------------------
+    # transmit path (generator; runs inside the sender's syscall)
+    # ------------------------------------------------------------------
+
+    def tx_message(self, task, sock, message, frame_batch=1):
+        """Segment ``message`` and push it through flow control + NIC.
+
+        ``frame_batch`` > 1 aggregates that many MTU frames into one
+        simulated packet (costs scaled by frame count) — a documented
+        simulation speed knob for high-rate streams.
+        """
+        costs = self.costs
+        tracepoints = self.kernel.tracepoints
+        chunk_limit = costs.mtu * frame_batch
+        remaining = message.size
+        seq = 0
+        message.src = sock.local
+        message.dst = sock.remote
+        if message.created_at is None:
+            message.created_at = self.kernel.sim.now
+        while True:
+            size = min(chunk_limit, remaining)
+            remaining -= size
+            last = remaining == 0
+            frames = max(1, math.ceil(size / costs.mtu))
+            packet = Packet(
+                sock.local,
+                sock.remote,
+                size,
+                kind=message.kind,
+                message=message if last else None,
+                seq=seq,
+                is_last=last,
+                frames=frames,
+                meta=message.meta,
+            )
+            grant = sock.tx_credits.acquire(max(size, 1))
+            if grant.triggered:
+                yield grant
+            else:
+                # Flow-control stall: the receiver's kernel buffer is full.
+                yield from self.kernel.block_wait(task, grant, reason="sndbuf")
+            # Probes fire per wire frame in the real system; an aggregated
+            # packet charges the per-frame monitoring cost `frames` times.
+            cost = costs.tx_packet_cost(size, frames)
+            cost += tracepoints.cost_many(_TX_EVENTS) * frames
+            start, end = yield self.kernel.cpu.submit(task, cost, "kernel")
+            self._fire_tx_events(packet, start, end, sock)
+            self.tx_packets += 1
+            sock.bytes_sent += size
+            ring = self.nic.enqueue(packet)
+            if ring.triggered:
+                yield ring
+            else:
+                yield from self.kernel.block_wait(task, ring, reason="txring")
+            seq += 1
+            if last:
+                break
+        sock.messages_sent += 1
+
+    def _fire_tx_events(self, packet, start, end, sock):
+        tracepoints = self.kernel.tracepoints
+        if not any(tracepoints.enabled(etype) for etype in _TX_EVENTS):
+            return
+        costs = self.costs
+        base = costs.net_tx_sock + costs.net_tx_ip + costs.net_tx_driver
+        span = end - start
+        fields = self._packet_fields(packet)
+        fields["sock_pid"] = sock.owner_pid or 0
+        # Backfill layer boundaries proportionally across the segment.
+        t_sock = start + span * (costs.net_tx_sock / base) if base else end
+        t_ip = start + span * ((costs.net_tx_sock + costs.net_tx_ip) / base) if base else end
+        tracepoints.fire(tp.NET_TX_SOCK, sim_ts=t_sock, **fields)
+        tracepoints.fire(tp.NET_TX_IP, sim_ts=t_ip, **fields)
+        tracepoints.fire(tp.NET_TX_DRIVER, sim_ts=end, **fields)
+
+    # ------------------------------------------------------------------
+    # receive path (interrupt context)
+    # ------------------------------------------------------------------
+
+    def _rx_interrupt(self, packet):
+        costs = self.costs
+        cost = costs.rx_packet_cost(packet.size, packet.frames)
+        cost += self.kernel.tracepoints.cost_many(_RX_EVENTS) * packet.frames
+        done = self.kernel.cpu.submit(None, cost, "kernel", band=BAND_IRQ)
+        done.add_callback(lambda grant: self._rx_complete(packet, grant.value))
+
+    def _rx_complete(self, packet, span):
+        start, end = span
+        self.rx_packets += 1
+        kernel = self.kernel
+        sock = kernel.demux(packet.dst.port, packet.src)
+        self._fire_rx_events(packet, start, end, sock)
+        if sock is None:
+            self.rx_no_socket += 1
+            return
+        if packet.is_last and packet.message is not None and packet.message.kind == "_fin":
+            # Connection teardown: EOF ordered behind all in-flight data.
+            sock.state = "closed"
+            sock.rx_queue.put(None)
+            return
+        sock.buffer_bytes(packet.size)
+        if packet.is_last and packet.message is not None:
+            sock.complete_message(packet.message, kernel.sim.now)
+
+    def _fire_rx_events(self, packet, start, end, sock):
+        tracepoints = self.kernel.tracepoints
+        if not any(tracepoints.enabled(etype) for etype in _RX_EVENTS):
+            return
+        costs = self.costs
+        base = costs.net_rx_driver + costs.net_rx_ip + costs.net_rx_transport
+        span = end - start
+        fields = self._packet_fields(packet)
+        if sock is not None:
+            fields["sock_pid"] = sock.owner_pid or 0
+            fields["rx_buffered"] = sock.rx_buffered + packet.size
+            fields["rx_queue_depth"] = sock.rx_queue_depth
+        t_driver = start + span * (costs.net_rx_driver / base) if base else end
+        t_ip = start + span * ((costs.net_rx_driver + costs.net_rx_ip) / base) if base else end
+        tracepoints.fire(tp.NET_RX_DRIVER, sim_ts=t_driver, **fields)
+        tracepoints.fire(tp.NET_RX_IP, sim_ts=t_ip, **fields)
+        tracepoints.fire(tp.NET_RX_TRANSPORT, sim_ts=end, **fields)
+        tracepoints.fire(tp.SOCK_ENQUEUE, sim_ts=end, **fields)
+
+    @staticmethod
+    def _packet_fields(packet):
+        fields = {
+            "src_ip": packet.src.ip,
+            "src_port": packet.src.port,
+            "dst_ip": packet.dst.ip,
+            "dst_port": packet.dst.port,
+            "size": packet.size,
+            "frames": packet.frames,
+            "seq": packet.seq,
+            "is_last": packet.is_last,
+            "msg_kind": packet.kind,
+            "packet_id": packet.packet_id,
+        }
+        # ARM-style in-band correlation token (Application Response
+        # Measurement, the paper's reference [5]): applications that opt
+        # in stamp their messages; the monitor can then pair interleaved
+        # requests exactly.
+        meta = packet.meta
+        if meta is not None:
+            arm = meta.get("arm_id")
+            if arm is not None:
+                fields["arm_id"] = arm
+        return fields

@@ -1,0 +1,34 @@
+"""A /proc-like virtual filesystem: named read handlers rendered on demand.
+
+The SysProf dissemination daemon exports analyzer output here, "as with
+Dproc" in the paper, so user-level consumers on the node can read current
+metrics without going through the network channels.
+"""
+
+
+class ProcFs:
+    def __init__(self):
+        self._entries = {}
+
+    def register(self, path, provider):
+        """Register ``provider()`` (returning text) at ``path``."""
+        if not path.startswith("/proc/"):
+            raise ValueError("procfs paths must start with /proc/: {}".format(path))
+        self._entries[path] = provider
+
+    def unregister(self, path):
+        self._entries.pop(path, None)
+
+    def read(self, path):
+        """Render the entry at ``path``; raises ``FileNotFoundError`` if absent."""
+        provider = self._entries.get(path)
+        if provider is None:
+            raise FileNotFoundError(path)
+        return provider()
+
+    def listdir(self, prefix="/proc/"):
+        """All registered paths under ``prefix``."""
+        return sorted(path for path in self._entries if path.startswith(prefix))
+
+    def exists(self, path):
+        return path in self._entries

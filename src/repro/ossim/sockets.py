@@ -1,0 +1,180 @@
+"""Socket layer: connections, receive buffering, and flow control.
+
+The model is a reliable, in-order, flow-controlled message stream: the
+application hands the socket an :class:`AppMessage`, the network stack
+segments it into MTU-sized packets, and the receiver's socket reassembles
+it.  Flow control is credit-based — the sender holds byte credits equal
+to the receiver's kernel buffer and blocks when they run out, which is
+exactly the queueing the paper's Figure 4 measures ("kernel buffers get
+filled up and the requests get queued at the kernel-level waiting for
+their turn to get processed by the user-level proxy").
+
+Pure TCP acknowledgement packets are not simulated individually; credit
+returns propagate after a one-way-latency delay.  The paper's interaction
+extraction considers only data-bearing packets, so this omission does not
+change what the monitor sees.
+"""
+
+from collections import deque
+from itertools import count
+
+from repro.sim.engine import Waitable
+from repro.sim.errors import SimError
+from repro.sim.resources import Resource, Store
+
+_message_ids = count(1)
+
+SOCK_LISTENING = "listening"
+SOCK_ESTABLISHED = "established"
+SOCK_CLOSED = "closed"
+
+
+class AppMessage:
+    """An application-level message (request or response payload)."""
+
+    __slots__ = (
+        "msg_id",
+        "size",
+        "kind",
+        "meta",
+        "created_at",
+        "delivered_at",
+        "src",
+        "dst",
+    )
+
+    def __init__(self, size, kind="data", meta=None):
+        if size < 0:
+            raise ValueError("negative message size")
+        self.msg_id = next(_message_ids)
+        self.size = int(size)
+        self.kind = kind
+        self.meta = meta
+        self.created_at = None
+        self.delivered_at = None
+        self.src = None
+        self.dst = None
+
+    def __repr__(self):
+        return "<AppMessage #{} {} {}B>".format(self.msg_id, self.kind, self.size)
+
+
+class ByteCredits:
+    """Counting byte credits with FIFO granting (the sender's send window)."""
+
+    def __init__(self, sim, capacity):
+        if capacity <= 0:
+            raise SimError("credit capacity must be positive")
+        self.sim = sim
+        self.capacity = capacity
+        self.available = capacity
+        self._waiters = deque()  # (needed, waitable)
+
+    def acquire(self, amount):
+        """Waitable that succeeds once ``amount`` credits are granted."""
+        if amount > self.capacity:
+            raise SimError(
+                "cannot acquire {} credits from a window of {}".format(
+                    amount, self.capacity
+                )
+            )
+        grant = Waitable(self.sim)
+        if not self._waiters and self.available >= amount:
+            self.available -= amount
+            grant.succeed(amount)
+        else:
+            self._waiters.append((amount, grant))
+        return grant
+
+    def release(self, amount):
+        self.available += amount
+        if self.available > self.capacity:
+            raise SimError("credit release overflow")
+        while self._waiters and self._waiters[0][0] <= self.available:
+            needed, grant = self._waiters.popleft()
+            if grant.triggered:
+                continue
+            self.available -= needed
+            grant.succeed(needed)
+
+    @property
+    def in_flight(self):
+        return self.capacity - self.available
+
+
+class Socket:
+    """One endpoint of an established connection."""
+
+    def __init__(self, kernel, local, rx_capacity):
+        self.kernel = kernel
+        self.local = local
+        self.remote = None
+        self.peer = None  # the Socket at the other end (simulator shortcut)
+        self.state = SOCK_ESTABLISHED
+        self.rx_capacity = rx_capacity
+        self.rx_queue = Store(kernel.sim)  # completed AppMessages (None = EOF)
+        self.rx_buffered = 0  # bytes in the kernel receive buffer
+        self.rx_partial = 0  # bytes of the message currently being reassembled
+        self.tx_credits = None  # set during connection setup
+        self.tx_lock = Resource(kernel.sim, capacity=1)
+        self.ack_delay = 0.0
+        self.owner_pid = None
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.messages_sent = 0
+        self.messages_received = 0
+
+    def __repr__(self):
+        return "<Socket {}->{} {}>".format(self.local, self.remote, self.state)
+
+    @property
+    def rx_queue_depth(self):
+        """Completed messages waiting for the application to read them."""
+        return len(self.rx_queue)
+
+    def buffer_bytes(self, packet_size):
+        """Netstack RX: account packet payload arriving into the buffer."""
+        self.rx_buffered += packet_size
+        self.rx_partial += packet_size
+
+    def complete_message(self, message, now):
+        """Netstack RX: the last segment landed; queue the whole message."""
+        message.delivered_at = now
+        self.rx_partial = 0
+        self.messages_received += 1
+        self.bytes_received += message.size
+        self.rx_queue.put(message)
+
+    def consume(self, message):
+        """Application read: drain the buffer and return credits to the peer."""
+        self.rx_buffered -= message.size
+        if self.rx_buffered < 0:
+            raise SimError("socket buffer accounting went negative")
+        peer = self.peer
+        if peer is not None and peer.tx_credits is not None:
+            self.kernel.sim.schedule(
+                self.ack_delay, peer.tx_credits.release, message.size
+            )
+
+    def close(self):
+        if self.state == SOCK_CLOSED:
+            return
+        self.state = SOCK_CLOSED
+        peer = self.peer
+        if peer is not None and peer.state != SOCK_CLOSED:
+            # FIN reaches the peer after one-way latency.
+            self.kernel.sim.schedule(self.ack_delay, peer.rx_queue.put, None)
+
+
+class ListeningSocket:
+    """A passive socket accepting connections on a port."""
+
+    def __init__(self, kernel, local):
+        self.kernel = kernel
+        self.local = local
+        self.state = SOCK_LISTENING
+        self.backlog = Store(kernel.sim)
+        self.accepted = 0
+
+    def __repr__(self):
+        return "<ListeningSocket {}>".format(self.local)

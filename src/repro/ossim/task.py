@@ -1,0 +1,115 @@
+"""Tasks: the simulated kernel's schedulable entities."""
+
+# Task states
+TASK_READY = "ready"
+TASK_RUNNING = "running"
+TASK_BLOCKED = "blocked"
+TASK_EXITED = "exited"
+
+# CPU priority bands (lower = more urgent)
+BAND_IRQ = 0      # interrupt context: runs to completion, preempts everything
+BAND_KERNEL = 1   # kernel daemons (nfsd, SysProf dissemination daemon)
+BAND_USER = 2     # ordinary user processes
+
+
+class Task:
+    """One schedulable task (process/thread) on a node.
+
+    Holds the accounting SysProf's scheduling and syscall probes report:
+    user time, system time, blocked time, and context switch counts.
+    """
+
+    __slots__ = (
+        "pid",
+        "name",
+        "kernel",
+        "band",
+        "state",
+        "utime",
+        "stime",
+        "blocked_time",
+        "blocked_since",
+        "block_reason",
+        "ctx_switches",
+        "disk_ops",
+        "affinity",
+        "created_at",
+        "exited_at",
+        "proc",
+        "exit_value",
+        "cwd",
+        "labels",
+    )
+
+    def __init__(self, pid, name, kernel, band=BAND_USER):
+        self.pid = pid
+        self.name = name
+        self.kernel = kernel
+        self.band = band
+        self.state = TASK_READY
+        self.utime = 0.0
+        self.stime = 0.0
+        self.blocked_time = 0.0
+        self.blocked_since = None
+        self.block_reason = None
+        self.ctx_switches = 0
+        self.disk_ops = 0
+        self.affinity = None  # CPU pin (core index) or None
+        self.created_at = kernel.sim.now
+        self.exited_at = None
+        self.proc = None
+        self.exit_value = None
+        self.cwd = "/"
+        self.labels = {}
+
+    @property
+    def cpu_time(self):
+        return self.utime + self.stime
+
+    @property
+    def is_alive(self):
+        return self.state != TASK_EXITED
+
+    def mark_blocked(self, now, reason):
+        self.state = TASK_BLOCKED
+        self.blocked_since = now
+        self.block_reason = reason
+
+    def mark_ready(self, now):
+        if self.state == TASK_BLOCKED and self.blocked_since is not None:
+            self.blocked_time += now - self.blocked_since
+            self.blocked_since = None
+        self.block_reason = None
+        if self.state != TASK_EXITED:
+            self.state = TASK_READY
+
+    def kill(self, reason="killed"):
+        """Terminate the task at its next suspension point."""
+        if self.proc is not None:
+            self.proc.interrupt(reason)
+
+    def charge(self, mode, seconds):
+        """Account a slice of CPU time in the given mode."""
+        if mode == "user":
+            self.utime += seconds
+        else:
+            self.stime += seconds
+
+    def stat_line(self, now):
+        """A /proc/<pid>/stat-like summary."""
+        return (
+            "{pid} ({name}) {state} utime={utime:.6f} stime={stime:.6f} "
+            "blocked={blocked:.6f} ctxt={ctxt}".format(
+                pid=self.pid,
+                name=self.name,
+                state=self.state,
+                utime=self.utime,
+                stime=self.stime,
+                blocked=self.blocked_time
+                + ((now - self.blocked_since) if self.blocked_since is not None else 0.0),
+                ctxt=self.ctx_switches,
+            )
+        )
+
+    def __repr__(self):
+        return "<Task {} pid={} {}>".format(self.name, self.pid, self.state)

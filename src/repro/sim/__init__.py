@@ -1,0 +1,46 @@
+"""Deterministic discrete-event simulation engine (SimPy-like, dependency-free)."""
+
+from repro.sim.engine import (
+    PRIORITY_INTERRUPT,
+    PRIORITY_LOW,
+    PRIORITY_NORMAL,
+    AllOf,
+    AnyOf,
+    Handle,
+    Simulator,
+    Timeout,
+    Waitable,
+)
+from repro.sim.errors import Interrupt, ProcessCrashed, SimError, StaleWaitable
+from repro.sim.process import Process
+from repro.sim.resources import Gate, Resource, Store
+from repro.sim.rng import RandomStreams, exponential, pareto, poisson
+from repro.sim.stats import Histogram, RunningStat, TimeWeightedStat, percentile
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Gate",
+    "Handle",
+    "Histogram",
+    "Interrupt",
+    "PRIORITY_INTERRUPT",
+    "PRIORITY_LOW",
+    "PRIORITY_NORMAL",
+    "Process",
+    "ProcessCrashed",
+    "RandomStreams",
+    "Resource",
+    "RunningStat",
+    "SimError",
+    "Simulator",
+    "StaleWaitable",
+    "Store",
+    "TimeWeightedStat",
+    "Timeout",
+    "Waitable",
+    "exponential",
+    "pareto",
+    "percentile",
+    "poisson",
+]

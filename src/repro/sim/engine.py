@@ -1,0 +1,311 @@
+"""Deterministic discrete-event simulation engine.
+
+The engine is a single ordered heap of ``(time, priority, seq, fn, args)``
+entries.  All higher-level constructs (processes, timeouts, resources,
+sockets, CPU schedulers) are built from two primitives:
+
+* :meth:`Simulator.schedule` — run a callback at an absolute offset, and
+* :class:`Waitable` — a one-shot completion cell that callbacks (and
+  therefore processes) can chain on.
+
+Determinism matters more than raw speed here: two runs with the same seed
+must produce identical traces, because the monitoring toolkit under test
+diffs event streams across configurations.  The ``seq`` counter breaks
+time ties in insertion order and no wall-clock value ever enters the
+simulation.
+"""
+
+import heapq
+from itertools import count
+
+from repro.sim.errors import SimError, StaleWaitable
+
+#: Scheduling priority bands for simultaneous events.  Lower runs first.
+PRIORITY_INTERRUPT = 0
+PRIORITY_NORMAL = 1
+PRIORITY_LOW = 2
+
+
+class Handle:
+    """Cancellation handle for a scheduled callback."""
+
+    __slots__ = ("_entry",)
+
+    def __init__(self, entry):
+        self._entry = entry
+
+    def cancel(self):
+        """Prevent the callback from running.  Idempotent."""
+        self._entry[4] = None
+
+    @property
+    def cancelled(self):
+        return self._entry[4] is None
+
+
+class Waitable:
+    """One-shot completion cell.
+
+    A waitable is *triggered* exactly once, either successfully
+    (:meth:`succeed`) or with an exception (:meth:`fail`).  Callbacks
+    added before triggering fire at trigger time; callbacks added after
+    fire immediately (in the same timestep, via the event heap so that
+    ordering remains deterministic).
+    """
+
+    __slots__ = ("sim", "_done", "_ok", "_value", "_callbacks", "_defused")
+
+    def __init__(self, sim):
+        self.sim = sim
+        self._done = False
+        self._ok = None
+        self._value = None
+        self._callbacks = []
+        self._defused = False
+
+    @property
+    def triggered(self):
+        """True once the waitable has succeeded or failed."""
+        return self._done
+
+    @property
+    def ok(self):
+        """True if the waitable succeeded.  Only valid once triggered."""
+        return self._ok
+
+    @property
+    def value(self):
+        """The success value or failure exception.  Valid once triggered."""
+        return self._value
+
+    def add_callback(self, fn):
+        """Run ``fn(self)`` when the waitable triggers."""
+        if self._done:
+            self.sim.call_soon(fn, self)
+        else:
+            self._callbacks.append(fn)
+
+    def discard_callback(self, fn):
+        """Remove a pending callback if present (used by interrupts)."""
+        if not self._done and fn in self._callbacks:
+            self._callbacks.remove(fn)
+
+    def succeed(self, value=None):
+        """Trigger successfully with ``value``."""
+        self._finish(True, value)
+        return self
+
+    def fail(self, exc):
+        """Trigger with exception ``exc``; waiters will see it raised."""
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._finish(False, exc)
+        return self
+
+    def defuse(self):
+        """Mark a failure as handled even with no waiters attached."""
+        self._defused = True
+        return self
+
+    def _finish(self, ok, value):
+        if self._done:
+            raise StaleWaitable("waitable triggered twice: {!r}".format(self))
+        self._done = True
+        self._ok = ok
+        self._value = value
+        callbacks, self._callbacks = self._callbacks, None
+        for fn in callbacks:
+            self.sim.call_soon(fn, self)
+        if not ok and not callbacks and not self._defused:
+            raise value
+
+
+class Timeout(Waitable):
+    """Waitable that succeeds after a simulated delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim, delay, value=None):
+        if delay < 0:
+            raise SimError("negative timeout delay: {}".format(delay))
+        super().__init__(sim)
+        self.delay = delay
+        sim.schedule(delay, self.succeed, value)
+
+
+class AnyOf(Waitable):
+    """Succeeds with the first triggering child waitable."""
+
+    __slots__ = ()
+
+    def __init__(self, sim, children):
+        super().__init__(sim)
+        children = list(children)
+        if not children:
+            raise SimError("AnyOf requires at least one waitable")
+        for child in children:
+            child.add_callback(self._on_child)
+
+    def _on_child(self, child):
+        if self._done:
+            return
+        if child.ok:
+            self.succeed(child)
+        else:
+            self.fail(child.value)
+
+
+class AllOf(Waitable):
+    """Succeeds with a list of child values once every child triggers."""
+
+    __slots__ = ("_pending", "_children")
+
+    def __init__(self, sim, children):
+        super().__init__(sim)
+        self._children = list(children)
+        self._pending = len(self._children)
+        if self._pending == 0:
+            sim.call_soon(lambda _w: self.succeed([]), self)
+            return
+        for child in self._children:
+            child.add_callback(self._on_child)
+
+    def _on_child(self, child):
+        if self._done:
+            return
+        if not child.ok:
+            self.fail(child.value)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed([c.value for c in self._children])
+
+
+class Simulator:
+    """The event loop.
+
+    >>> sim = Simulator()
+    >>> ticks = []
+    >>> _ = sim.schedule(5.0, lambda: ticks.append(sim.now))
+    >>> sim.run()
+    >>> ticks
+    [5.0]
+    """
+
+    def __init__(self):
+        self.now = 0.0
+        self._heap = []
+        self._seq = count()
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # scheduling primitives
+    # ------------------------------------------------------------------
+
+    def schedule(self, delay, fn, *args, priority=PRIORITY_NORMAL):
+        """Run ``fn(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise SimError("cannot schedule into the past (delay={})".format(delay))
+        entry = [self.now + delay, priority, next(self._seq), args, fn]
+        heapq.heappush(self._heap, entry)
+        return Handle(entry)
+
+    def schedule_at(self, when, fn, *args, priority=PRIORITY_NORMAL):
+        """Run ``fn(*args)`` at absolute simulated time ``when``."""
+        return self.schedule(when - self.now, fn, *args, priority=priority)
+
+    def call_soon(self, fn, *args, priority=PRIORITY_NORMAL):
+        """Run ``fn(*args)`` at the current time, after pending same-time work."""
+        return self.schedule(0.0, fn, *args, priority=priority)
+
+    # ------------------------------------------------------------------
+    # waitable factories
+    # ------------------------------------------------------------------
+
+    def waitable(self):
+        """A fresh untriggered :class:`Waitable`."""
+        return Waitable(self)
+
+    def timeout(self, delay, value=None):
+        """A waitable that succeeds after ``delay``."""
+        return Timeout(self, delay, value)
+
+    def any_of(self, children):
+        """A waitable succeeding with the first triggered child."""
+        return AnyOf(self, children)
+
+    def all_of(self, children):
+        """A waitable succeeding once all children trigger."""
+        return AllOf(self, children)
+
+    def process(self, generator, name=None):
+        """Spawn a generator as a simulation process."""
+        from repro.sim.process import Process
+
+        return Process(self, generator, name=name)
+
+    # ------------------------------------------------------------------
+    # running
+    # ------------------------------------------------------------------
+
+    def peek(self):
+        """Time of the next pending event, or ``None`` if the heap is empty."""
+        heap = self._heap
+        while heap and heap[0][4] is None:
+            heapq.heappop(heap)
+        return heap[0][0] if heap else None
+
+    def step(self):
+        """Process exactly one pending event.  Returns False if none remain."""
+        heap = self._heap
+        while heap:
+            when, _prio, _seq, args, fn = heapq.heappop(heap)
+            if fn is None:
+                continue
+            if when < self.now:
+                raise SimError("time went backwards: {} < {}".format(when, self.now))
+            self.now = when
+            fn(*args)
+            return True
+        return False
+
+    def run(self, until=None):
+        """Run until the heap drains or ``until`` (absolute time) is reached.
+
+        When ``until`` is given the clock is advanced exactly to it even if
+        the heap drained earlier, so back-to-back ``run(until=...)`` calls
+        observe a monotonically advancing clock.
+        """
+        if self._running:
+            raise SimError("simulator is already running (re-entrant run())")
+        self._running = True
+        try:
+            heap = self._heap
+            while heap:
+                when = heap[0][0]
+                if until is not None and when > until:
+                    break
+                self.step()
+            if until is not None:
+                if until < self.now:
+                    raise SimError(
+                        "run(until={}) is in the past (now={})".format(until, self.now)
+                    )
+                self.now = until
+        finally:
+            self._running = False
+
+    def run_until_triggered(self, waitable, limit=None):
+        """Run until ``waitable`` triggers; returns its value (or raises).
+
+        ``limit`` bounds the absolute simulated time to guard against
+        deadlocks in tests.
+        """
+        while not waitable.triggered:
+            if limit is not None and self.now > limit:
+                raise SimError("run_until_triggered exceeded limit {}".format(limit))
+            if not self.step():
+                raise SimError("event heap drained before waitable triggered")
+        if waitable.ok:
+            return waitable.value
+        raise waitable.value

@@ -1,0 +1,28 @@
+"""Exception types raised by the discrete-event simulation engine."""
+
+
+class SimError(Exception):
+    """Base class for all simulation engine errors."""
+
+
+class StaleWaitable(SimError):
+    """A waitable was triggered more than once."""
+
+
+class Interrupt(SimError):
+    """Raised inside a process that another process interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`repro.sim.process.Process.interrupt`.
+    """
+
+    def __init__(self, cause=None):
+        super().__init__(cause)
+        self.cause = cause
+
+    def __repr__(self):
+        return "Interrupt({!r})".format(self.cause)
+
+
+class ProcessCrashed(SimError):
+    """A process generator raised an exception nobody was waiting for."""

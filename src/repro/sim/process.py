@@ -1,0 +1,109 @@
+"""Generator-based simulation processes.
+
+A process is a Python generator that yields :class:`~repro.sim.engine.Waitable`
+instances.  The process suspends until the yielded waitable triggers; its
+success value is sent back into the generator (``x = yield some_waitable``)
+and a failure is raised at the yield point.
+
+Processes are themselves waitables: they trigger with the generator's
+return value, or fail with its uncaught exception.  A process blocked on a
+waitable can be interrupted, which raises :class:`~repro.sim.errors.Interrupt`
+inside it — the building block for preemptive CPU scheduling.
+"""
+
+import types
+
+from repro.sim.engine import Waitable
+from repro.sim.errors import Interrupt, SimError
+
+
+class Process(Waitable):
+    """A running simulation process.  Create via :meth:`Simulator.process`."""
+
+    __slots__ = ("name", "_gen", "_target", "_started")
+
+    def __init__(self, sim, generator, name=None):
+        if not isinstance(generator, types.GeneratorType):
+            raise TypeError(
+                "Process requires a generator, got {!r}".format(type(generator))
+            )
+        super().__init__(sim)
+        self.name = name or getattr(generator, "__name__", "process")
+        self._gen = generator
+        self._target = None
+        self._started = False
+        sim.call_soon(self._start)
+
+    def __repr__(self):
+        state = "done" if self.triggered else ("waiting" if self._target else "new")
+        return "<Process {} [{}]>".format(self.name, state)
+
+    @property
+    def is_alive(self):
+        return not self.triggered
+
+    # ------------------------------------------------------------------
+
+    def _start(self):
+        if self.triggered:  # interrupted before first step
+            return
+        self._started = True
+        self._advance(send_value=None)
+
+    def _advance(self, send_value=None, throw_exc=None):
+        try:
+            if throw_exc is not None:
+                target = self._gen.throw(throw_exc)
+            else:
+                target = self._gen.send(send_value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.fail(exc)
+            return
+        if not isinstance(target, Waitable):
+            self._gen.close()
+            self.fail(
+                SimError(
+                    "process {} yielded a non-waitable: {!r}".format(self.name, target)
+                )
+            )
+            return
+        self._target = target
+        target.add_callback(self._on_target)
+
+    def _on_target(self, waitable):
+        if waitable is not self._target or self.triggered:
+            return  # stale wakeup after an interrupt
+        self._target = None
+        if waitable.ok:
+            self._advance(send_value=waitable.value)
+        else:
+            self._advance(throw_exc=waitable.value)
+
+    # ------------------------------------------------------------------
+
+    def interrupt(self, cause=None):
+        """Raise :class:`Interrupt` inside the process at its yield point.
+
+        Safe to call at any moment before the process finishes; interrupting
+        a finished process is a no-op.  The waitable the process was blocked
+        on keeps running but its eventual trigger is ignored.
+        """
+        if self.triggered:
+            return
+        self.sim.call_soon(self._deliver_interrupt, cause)
+
+    def _deliver_interrupt(self, cause):
+        if self.triggered:
+            return
+        if not self._started:
+            # Interrupt landed before the first step: kill quietly.
+            self._gen.close()
+            self.succeed(None)
+            return
+        target, self._target = self._target, None
+        if target is not None:
+            target.discard_callback(self._on_target)
+        self._advance(throw_exc=Interrupt(cause))

@@ -1,0 +1,155 @@
+"""Waitable synchronization primitives: resources, stores, gates, queues."""
+
+from collections import deque
+
+from repro.sim.engine import Waitable
+from repro.sim.errors import SimError
+
+
+class Resource:
+    """Counted resource with FIFO admission (a semaphore with a queue).
+
+    ``acquire()`` returns a waitable that succeeds when a unit is granted;
+    ``release()`` hands the unit to the next waiter.
+    """
+
+    def __init__(self, sim, capacity=1):
+        if capacity < 1:
+            raise SimError("resource capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiters = deque()
+
+    def __repr__(self):
+        return "<Resource {}/{} queued={}>".format(
+            self.in_use, self.capacity, len(self._waiters)
+        )
+
+    @property
+    def queue_length(self):
+        return len(self._waiters)
+
+    def acquire(self):
+        grant = Waitable(self.sim)
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            grant.succeed(self)
+        else:
+            self._waiters.append(grant)
+        return grant
+
+    def release(self):
+        if self.in_use <= 0:
+            raise SimError("release() without acquire()")
+        while self._waiters:
+            grant = self._waiters.popleft()
+            if grant.triggered:  # waiter cancelled via fail elsewhere
+                continue
+            grant.succeed(self)
+            return
+        self.in_use -= 1
+
+    def cancel(self, grant):
+        """Withdraw a pending acquire before it is granted."""
+        if grant in self._waiters:
+            self._waiters.remove(grant)
+
+
+class Store:
+    """FIFO item store with optional capacity (a waitable queue).
+
+    ``put(item)`` returns a waitable succeeding once the item is accepted;
+    ``get()`` returns a waitable succeeding with the oldest item.
+    """
+
+    def __init__(self, sim, capacity=None):
+        if capacity is not None and capacity < 1:
+            raise SimError("store capacity must be >= 1 or None")
+        self.sim = sim
+        self.capacity = capacity
+        self.items = deque()
+        self._getters = deque()
+        self._putters = deque()  # (waitable, item)
+
+    def __len__(self):
+        return len(self.items)
+
+    @property
+    def full(self):
+        return self.capacity is not None and len(self.items) >= self.capacity
+
+    def put(self, item):
+        done = Waitable(self.sim)
+        if self.full:
+            self._putters.append((done, item))
+        else:
+            self._accept(item)
+            done.succeed(item)
+        return done
+
+    def try_put(self, item):
+        """Non-blocking put; returns False when the store is full."""
+        if self.full:
+            return False
+        self._accept(item)
+        return True
+
+    def get(self):
+        got = Waitable(self.sim)
+        if self.items:
+            got.succeed(self.items.popleft())
+            self._admit_putters()
+        else:
+            self._getters.append(got)
+        return got
+
+    def try_get(self):
+        """Non-blocking get; returns ``(True, item)`` or ``(False, None)``."""
+        if self.items:
+            item = self.items.popleft()
+            self._admit_putters()
+            return True, item
+        return False, None
+
+    def _accept(self, item):
+        while self._getters:
+            got = self._getters.popleft()
+            if got.triggered:
+                continue
+            got.succeed(item)
+            return
+        self.items.append(item)
+
+    def _admit_putters(self):
+        while self._putters and not self.full:
+            done, item = self._putters.popleft()
+            if done.triggered:
+                continue
+            self._accept(item)
+            done.succeed(item)
+
+
+class Gate:
+    """Broadcast condition: every ``wait()`` gets a waitable; ``fire(value)``
+    triggers all waiters currently parked."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self._waiters = []
+
+    @property
+    def waiter_count(self):
+        return len(self._waiters)
+
+    def wait(self):
+        waitable = Waitable(self.sim)
+        self._waiters.append(waitable)
+        return waitable
+
+    def fire(self, value=None):
+        waiters, self._waiters = self._waiters, []
+        for waitable in waiters:
+            if not waitable.triggered:
+                waitable.succeed(value)
+        return len(waiters)

@@ -1,0 +1,20 @@
+"""Workload generators: iperf, linpack, iozone, httperf analogs."""
+
+from repro.workloads.httperf import HttperfConfig, HttperfStats, spawn_httperf
+from repro.workloads.iozone import IozoneConfig, IozoneResults, spawn_iozone
+from repro.workloads.iperf import IperfResult, IperfRun, run_iperf
+from repro.workloads.linpack import LinpackResult, spawn_linpack
+
+__all__ = [
+    "HttperfConfig",
+    "HttperfStats",
+    "IozoneConfig",
+    "IozoneResults",
+    "IperfResult",
+    "IperfRun",
+    "LinpackResult",
+    "run_iperf",
+    "spawn_httperf",
+    "spawn_iozone",
+    "spawn_linpack",
+]

@@ -1,0 +1,88 @@
+"""Bottleneck diagnosis and time-series helpers."""
+
+import pytest
+
+from repro.analysis import (
+    ascii_plot,
+    bin_events,
+    diagnose_node,
+    find_bottleneck,
+    moving_average,
+    rate_series,
+)
+from repro.experiments.common import Series, format_table, mean
+from tests.core.helpers import build_monitored_pair, drive_traffic
+
+
+def test_bin_events_counts():
+    assert bin_events([0.1, 0.2, 1.5, 2.9], bin_width=1.0) == [
+        (0.0, 2), (1.0, 1), (2.0, 1),
+    ]
+
+
+def test_bin_events_window():
+    assert bin_events([0.5, 1.5, 2.5], bin_width=1.0, t0=1.0, t1=2.0) == [(1.0, 1)]
+
+
+def test_bin_events_validation():
+    with pytest.raises(ValueError):
+        bin_events([], bin_width=0)
+
+
+def test_rate_series():
+    assert rate_series([0.0, 0.1, 0.2], bin_width=0.5) == [(0.0, 6.0)]
+
+
+def test_moving_average_smooths():
+    series = [(0, 0.0), (1, 10.0), (2, 0.0)]
+    smoothed = moving_average(series, window=3)
+    assert smoothed[1][1] == pytest.approx(10 / 3)
+    with pytest.raises(ValueError):
+        moving_average(series, window=0)
+
+
+def test_ascii_plot_renders():
+    text = ascii_plot({"a": [(0, 1.0), (1, 2.0)], "b": [(0, 0.5)]}, title="t")
+    assert "t" in text and "o=a" in text and "+=b" in text
+    assert ascii_plot({}) == "(no data)"
+
+
+def test_series_helper():
+    series = Series("s")
+    series.add(1, 2.0)
+    series.add(3, 4.0)
+    assert series.xs == [1, 3] and series.ys == [2.0, 4.0]
+
+
+def test_format_table_aligns():
+    text = format_table(
+        ("name", "value"), [("x", 1.2345), ("longer", 100.0)], title="T"
+    )
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1] and "---" in lines[2]
+    assert len(lines) == 5
+
+
+def test_mean_empty():
+    assert mean([]) == 0.0
+
+
+def test_diagnose_node_and_find_bottleneck():
+    cluster, sysprof = build_monitored_pair()
+    drive_traffic(cluster, sysprof, count=8)
+    diagnosis = diagnose_node(sysprof.gpa, "server")
+    assert diagnosis.interaction_count == 8
+    assert diagnosis.dominant_component == "user"  # 2ms compute dominates
+    assert "server" in diagnosis.describe()
+
+    report = find_bottleneck(sysprof.gpa, ["server", "ghost"])
+    assert report.bottleneck == "server"
+    assert "highest mean local residency" in report.reason
+    assert "bottleneck: server" in report.describe()
+
+
+def test_find_bottleneck_without_data():
+    cluster, sysprof = build_monitored_pair()
+    report = find_bottleneck(sysprof.gpa, ["server"])
+    assert report.bottleneck == "unknown"

@@ -1,0 +1,111 @@
+"""Workload modeling from GPA dumps."""
+
+import math
+import random
+
+import pytest
+
+from repro.analysis.modeling import (
+    ArrivalModel,
+    ServiceModel,
+    capacity_at_latency,
+    fit_class_models,
+    load_dump,
+    mg1_response_time,
+    utilization_forecast,
+)
+from tests.core.helpers import build_monitored_pair, drive_traffic
+
+
+def test_arrival_model_recovers_poisson_rate():
+    rng = random.Random(5)
+    now, stamps = 0.0, []
+    for _ in range(5000):
+        now += rng.expovariate(50.0)
+        stamps.append(now)
+    model = ArrivalModel.fit(stamps)
+    assert model.rate == pytest.approx(50.0, rel=0.05)
+    assert model.looks_poisson
+
+
+def test_arrival_model_detects_regular_arrivals():
+    stamps = [i * 0.02 for i in range(100)]
+    model = ArrivalModel.fit(stamps)
+    assert model.rate == pytest.approx(50.0, rel=0.01)
+    assert model.cv == pytest.approx(0.0, abs=1e-9)
+    assert not model.looks_poisson
+
+
+def test_arrival_model_validation():
+    with pytest.raises(ValueError):
+        ArrivalModel.fit([1.0])
+    with pytest.raises(ValueError):
+        ArrivalModel.fit([1.0, 1.0])
+
+
+def test_service_model_percentiles():
+    model = ServiceModel.fit([0.001] * 90 + [0.01] * 10)
+    assert model.mean == pytest.approx(0.0019, rel=0.01)
+    assert model.p50 == pytest.approx(0.001)
+    assert model.p99 == pytest.approx(0.01, rel=0.05)
+    with pytest.raises(ValueError):
+        ServiceModel.fit([])
+
+
+def test_mg1_deterministic_matches_md1():
+    """cv=0 reduces PK to the M/D/1 formula."""
+    service = ServiceModel(count=1, mean=0.01, cv=0.0, p50=0.01, p95=0.01, p99=0.01)
+    rate = 50.0  # rho = 0.5
+    expected = 0.01 + 0.5 * 0.01 / (2 * (1 - 0.5))
+    assert mg1_response_time(rate, service) == pytest.approx(expected)
+
+
+def test_mg1_saturation_is_infinite():
+    service = ServiceModel(count=1, mean=0.01, cv=1.0, p50=0.01, p95=0.01, p99=0.01)
+    assert mg1_response_time(100.0, service) == math.inf
+    assert mg1_response_time(150.0, service) == math.inf
+
+
+def test_mg1_monotone_in_rate():
+    service = ServiceModel(count=1, mean=0.005, cv=1.0, p50=0.005, p95=0.005,
+                           p99=0.005)
+    latencies = [mg1_response_time(rate, service) for rate in (10, 50, 100, 150)]
+    assert latencies == sorted(latencies)
+
+
+def test_capacity_at_latency_inverts_mg1():
+    service = ServiceModel(count=1, mean=0.005, cv=1.0, p50=0.005, p95=0.005,
+                           p99=0.005)
+    rate = capacity_at_latency(service, target_latency=0.02)
+    assert mg1_response_time(rate, service) == pytest.approx(0.02, rel=0.02)
+    assert capacity_at_latency(service, target_latency=0.001) == 0.0
+
+
+def test_fit_and_forecast_from_live_monitoring(tmp_path):
+    """End-to-end: monitored run -> GPA dump -> fitted models -> forecast."""
+    cluster, sysprof = build_monitored_pair()
+    drive_traffic(cluster, sysprof, count=20)
+    dump_path = tmp_path / "gpa.jsonl"
+    sysprof.gpa.dump(str(dump_path))
+
+    records = load_dump(str(dump_path))
+    assert "interaction" in records
+    models = fit_class_models(records["interaction"])
+    assert "query" in models
+    arrival, service = models["query"]
+    # The echo server burns 2 ms per request.
+    assert service.mean == pytest.approx(0.002, rel=0.15)
+    # Client thinks ~10 ms + ~2.7 ms round trip -> rate ~75-90/s.
+    assert 50 < arrival.rate < 120
+
+    demand, utilization = utilization_forecast(models)
+    assert utilization == pytest.approx(arrival.rate * service.mean, rel=1e-6)
+    assert utilization < 0.5
+
+
+def test_load_dump_skips_blank_lines(tmp_path):
+    path = tmp_path / "d.jsonl"
+    path.write_text('{"type": "interaction", "x": 1}\n\n{"type": "nodestats"}\n')
+    records = load_dump(str(path))
+    assert len(records["interaction"]) == 1
+    assert len(records["nodestats"]) == 1

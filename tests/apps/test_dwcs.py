@@ -1,0 +1,247 @@
+"""DWCS algorithm: precedence rules, window adjustments, properties."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.apps.scheduling.dwcs import DwcsScheduler, DwcsStream
+
+
+class FakeRequest:
+    __slots__ = ("arrival", "deadline", "seq", "name")
+
+    def __init__(self, arrival, name="r"):
+        self.arrival = arrival
+        self.deadline = None
+        self.seq = 0
+        self.name = name
+
+
+def make_scheduler(streams, drop_factor=None):
+    scheduler = DwcsScheduler(drop_factor=drop_factor)
+    for args in streams:
+        scheduler.add_stream(DwcsStream(*args))
+    return scheduler
+
+
+def test_stream_validation():
+    with pytest.raises(ValueError):
+        DwcsStream("s", 0.0, 1, 2)
+    with pytest.raises(ValueError):
+        DwcsStream("s", 1.0, 3, 2)
+    with pytest.raises(ValueError):
+        DwcsStream("s", 1.0, 1, 0)
+
+
+def test_deadline_assigned_on_enqueue():
+    scheduler = make_scheduler([("a", 0.5, 1, 2)])
+    request = FakeRequest(arrival=1.0)
+    scheduler.submit("a", request)
+    assert request.deadline == 1.5
+
+
+def test_earliest_deadline_first():
+    scheduler = make_scheduler([("fast", 0.1, 1, 2), ("slow", 1.0, 1, 2)])
+    scheduler.submit("slow", FakeRequest(0.0))
+    scheduler.submit("fast", FakeRequest(0.0))
+    stream, _request = scheduler.pick(0.0)
+    assert stream.name == "fast"
+
+
+def test_equal_deadline_lower_window_constraint_wins():
+    scheduler = make_scheduler([("tight", 1.0, 1, 10), ("loose", 1.0, 5, 10)])
+    scheduler.submit("loose", FakeRequest(0.0))
+    scheduler.submit("tight", FakeRequest(0.0))
+    stream, _request = scheduler.pick(0.0)
+    assert stream.name == "tight"
+
+
+def test_equal_everything_fcfs():
+    scheduler = make_scheduler([("a", 1.0, 1, 2), ("b", 1.0, 1, 2)])
+    scheduler.submit("b", FakeRequest(0.0))
+    scheduler.submit("a", FakeRequest(0.0))
+    stream, _ = scheduler.pick(0.0)
+    assert stream.name == "b"  # submitted first
+
+
+def test_zero_constraint_highest_denominator_wins():
+    scheduler = make_scheduler([("x", 1.0, 1, 2), ("y", 1.0, 1, 4)])
+    # Force both to W' = 0 via misses.
+    for name in ("x", "y"):
+        scheduler.streams[name].on_drop()
+    assert scheduler.streams["x"].window_constraint == 0.0
+    scheduler.submit("x", FakeRequest(0.0))
+    scheduler.submit("y", FakeRequest(0.0))
+    stream, _ = scheduler.pick(0.0)
+    assert stream.name == "y"  # y' = 3 beats y' = 1
+
+
+def test_service_before_deadline_decrements_window():
+    stream = DwcsStream("s", 1.0, 2, 5)
+    stream.on_service(before_deadline=True)
+    assert (stream.x_cur, stream.y_cur) == (2, 4)
+    assert stream.serviced == 1 and stream.missed == 0
+
+
+def test_window_resets_after_y_services():
+    stream = DwcsStream("s", 1.0, 2, 3)
+    for _ in range(3):
+        stream.on_service(before_deadline=True)
+    assert (stream.x_cur, stream.y_cur) == (2, 3)
+
+
+def test_miss_decrements_both_and_flags_violation():
+    stream = DwcsStream("s", 1.0, 1, 5)
+    stream.on_service(before_deadline=False)
+    assert (stream.x_cur, stream.y_cur) == (0, 4)
+    assert stream.violations == 0
+    stream.on_service(before_deadline=False)
+    assert stream.violations == 1
+    assert stream.x_cur == 0  # clamped
+
+
+def test_drop_counts_as_miss():
+    stream = DwcsStream("s", 1.0, 1, 5)
+    stream.on_drop()
+    assert stream.dropped == 1 and stream.missed == 1
+    assert (stream.x_cur, stream.y_cur) == (0, 4)
+
+
+def test_shed_late_drops_hopeless_requests():
+    scheduler = make_scheduler([("a", 0.1, 1, 2)], drop_factor=2.0)
+    scheduler.submit("a", FakeRequest(0.0))  # deadline 0.1, shed after 0.3
+    scheduler.submit("a", FakeRequest(1.0))
+    shed = scheduler.shed_late(1.0)
+    assert len(shed) == 1
+    assert scheduler.streams["a"].dropped == 1
+    assert scheduler.backlog == 1
+
+
+def test_no_shedding_without_drop_factor():
+    scheduler = make_scheduler([("a", 0.1, 1, 2)])
+    scheduler.submit("a", FakeRequest(0.0))
+    assert scheduler.shed_late(100.0) == []
+
+
+def test_pick_empty_returns_none():
+    scheduler = make_scheduler([("a", 1.0, 1, 2)])
+    assert scheduler.pick(0.0) is None
+
+
+def test_pick_marks_miss_when_late():
+    scheduler = make_scheduler([("a", 0.1, 1, 2)])
+    scheduler.submit("a", FakeRequest(0.0))
+    stream, _ = scheduler.pick(5.0)
+    assert stream.missed == 1
+
+
+def test_stats_shape():
+    scheduler = make_scheduler([("a", 1.0, 1, 2)])
+    scheduler.submit("a", FakeRequest(0.0))
+    stats = scheduler.stats()
+    assert stats["a"]["arrivals"] == 1
+    assert stats["a"]["queued"] == 1
+
+
+@given(st.lists(st.sampled_from(["service", "miss", "drop"]), max_size=200))
+def test_window_invariants_hold(operations):
+    """Property: 0 <= x' <= x, 1 <= y' <= y, and x' <= y' always."""
+    stream = DwcsStream("s", 1.0, 2, 7)
+    for operation in operations:
+        if operation == "service":
+            stream.on_service(before_deadline=True)
+        elif operation == "miss":
+            stream.on_service(before_deadline=False)
+        else:
+            stream.on_drop()
+        assert 0 <= stream.x_cur <= stream.x
+        assert 1 <= stream.y_cur <= stream.y
+        assert stream.x_cur <= stream.y_cur
+
+
+@given(
+    st.lists(st.tuples(st.sampled_from(["hi", "lo"]), st.floats(0, 10)),
+             min_size=1, max_size=60)
+)
+def test_scheduler_conserves_requests(submissions):
+    """Every submitted request is eventually picked exactly once."""
+    scheduler = make_scheduler([("hi", 0.5, 1, 10), ("lo", 2.0, 4, 10)])
+    for name, arrival in submissions:
+        scheduler.submit(name, FakeRequest(arrival))
+    picked = []
+    while True:
+        result = scheduler.pick(5.0)
+        if result is None:
+            break
+        picked.append(result[1])
+    assert len(picked) == len(submissions)
+    assert len(set(id(r) for r in picked)) == len(submissions)
+    assert scheduler.backlog == 0
+
+
+# ----------------------------------------------------------------------
+# Slot-level scheduling properties (the guarantee from West/Schwan's
+# DWCS papers: with unit service times, a stream set whose minimum
+# aggregate utilization sum((y-x)/(y*T)) <= 1 suffers no window
+# violations; late packets are dropped, as in the loss-tolerant
+# streaming setting DWCS was designed for).
+# ----------------------------------------------------------------------
+
+def _slot_simulate(stream_specs, slots):
+    """Drive the scheduler slot by slot; each stream emits one unit
+    packet per period.  Returns the scheduler after ``slots`` slots."""
+    scheduler = DwcsScheduler(drop_factor=0.0)
+    for name, period, x, y in stream_specs:
+        scheduler.add_stream(DwcsStream(name, float(period), x, y))
+    for slot in range(slots):
+        now = float(slot)
+        for name, period, _x, _y in stream_specs:
+            if slot % period == 0:
+                scheduler.submit(name, FakeRequest(now, name))
+        # Packets whose deadline has passed are lost (streaming semantics).
+        scheduler.shed_late(now)
+        scheduler.pick(now)  # serve one unit packet this slot
+    scheduler.shed_late(float(slots))
+    return scheduler
+
+
+def test_feasible_stream_set_has_no_violations():
+    # min aggregate utilization: 1/4 + 1/4 + 1/8 = 0.625 <= 1
+    specs = [("a", 2, 1, 2), ("b", 2, 1, 2), ("c", 4, 2, 4)]
+    scheduler = _slot_simulate(specs, slots=400)
+    for name, _period, _x, _y in specs:
+        assert scheduler.streams[name].violations == 0, name
+
+
+def test_feasible_set_meets_minimum_throughput():
+    """Each stream must get at least (1 - x/y) of its packets served."""
+    specs = [("a", 2, 1, 2), ("b", 2, 1, 2), ("c", 4, 2, 4)]
+    slots = 400
+    scheduler = _slot_simulate(specs, slots=slots)
+    for name, period, x, y in specs:
+        stream = scheduler.streams[name]
+        generated = slots // period
+        required = (1.0 - x / y) * generated
+        served_in_time = stream.serviced - (stream.missed - stream.dropped)
+        assert served_in_time >= required * 0.95, (name, stream.stats())
+
+
+def test_overloaded_stream_set_violates():
+    # Three no-loss streams each demanding every other slot: util 1.5 > 1.
+    specs = [("a", 2, 0, 2), ("b", 2, 0, 2), ("c", 2, 0, 2)]
+    scheduler = _slot_simulate(specs, slots=100)
+    total_violations = sum(
+        scheduler.streams[name].violations for name, *_ in specs
+    )
+    assert total_violations > 0
+
+
+def test_tight_stream_prioritized_over_loose_under_contention():
+    """Under persistent overload the loss lands on the loss-tolerant
+    stream, not the no-loss stream."""
+    specs = [("noloss", 2, 0, 2), ("tolerant", 2, 3, 4), ("filler", 2, 3, 4)]
+    scheduler = _slot_simulate(specs, slots=200)
+    assert scheduler.streams["noloss"].violations == 0
+    assert (
+        scheduler.streams["noloss"].dropped
+        < scheduler.streams["tolerant"].dropped
+    )

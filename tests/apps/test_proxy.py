@@ -1,0 +1,127 @@
+"""Forwarding proxy: worker and event-loop modes, routing."""
+
+import pytest
+
+from repro.apps.common.proxy import ForwardingProxy, field_route, hash_route
+from repro.cluster import Cluster
+
+
+def build(mode, backends=2):
+    cluster = Cluster(seed=23)
+    cluster.add_node("client")
+    cluster.add_node("proxy")
+    backend_names = []
+    for index in range(backends):
+        name = "be{}".format(index + 1)
+        cluster.add_node(name)
+        backend_names.append(name)
+
+    served = {name: [] for name in backend_names}
+
+    def backend(ctx, name):
+        lsock = yield from ctx.listen(7000)
+        while True:
+            sock = yield from ctx.accept(lsock)
+            ctx.spawn("h", _handler, sock, name)
+
+    def _handler(ctx, sock, name):
+        while True:
+            message = yield from ctx.recv_message(sock)
+            if message is None:
+                break
+            served[name].append(message.meta.get("path"))
+            yield from ctx.send_message(sock, 256, kind="ok", meta=message.meta)
+
+    for name in backend_names:
+        cluster.node(name).spawn("srv", backend, name)
+
+    proxy = ForwardingProxy(
+        cluster.node("proxy"), 7000,
+        {name: (name, 7000) for name in backend_names},
+        mode=mode,
+    ).start()
+    return cluster, proxy, served
+
+
+def _client(ctx, paths, replies):
+    sock = yield from ctx.connect("proxy", 7000)
+    for path in paths:
+        yield from ctx.send_message(sock, 1000, kind="req", meta={"path": path})
+        reply = yield from ctx.recv_message(sock)
+        replies.append(reply.meta.get("path"))
+    yield from ctx.close(sock)
+
+
+@pytest.mark.parametrize("mode", ["worker", "eventloop"])
+def test_forwarding_roundtrip(mode):
+    cluster, proxy, served = build(mode)
+    replies = []
+    paths = ["/a", "/b", "/c", "/d"]
+    cluster.node("client").spawn("cli", _client, paths, replies)
+    cluster.run(until=5.0)
+    assert replies == paths
+    assert proxy.forwarded == 4
+    assert proxy.replied == 4
+    assert sum(len(v) for v in served.values()) == 4
+
+
+@pytest.mark.parametrize("mode", ["worker", "eventloop"])
+def test_same_path_sticks_to_one_backend(mode):
+    cluster, proxy, served = build(mode)
+    replies = []
+    cluster.node("client").spawn("cli", _client, ["/same"] * 6, replies)
+    cluster.run(until=5.0)
+    assert sorted(proxy.per_backend.values()) == [0, 6]
+
+
+def test_eventloop_multiplexes_concurrent_clients():
+    cluster, proxy, served = build("eventloop")
+    cluster.add_node("client2")
+    replies_a, replies_b = [], []
+    cluster.node("client").spawn("c1", _client, ["/x"] * 3, replies_a)
+    cluster.node("client2").spawn("c2", _client, ["/y"] * 3, replies_b)
+    cluster.run(until=5.0)
+    assert replies_a == ["/x"] * 3
+    assert replies_b == ["/y"] * 3
+    assert proxy.connections == 2
+
+
+def test_worker_mode_spawns_worker_per_connection():
+    cluster, proxy, served = build("worker")
+    cluster.add_node("client2")
+    replies_a, replies_b = [], []
+    cluster.node("client").spawn("c1", _client, ["/x"], replies_a)
+    cluster.node("client2").spawn("c2", _client, ["/y"], replies_b)
+    cluster.run(until=5.0)
+    workers = [
+        task for task in cluster.node("proxy").kernel.tasks.values()
+        if task.name.startswith("proxy-w")
+    ]
+    assert len(workers) == 2
+
+
+def test_invalid_mode_rejected():
+    cluster = Cluster(seed=1)
+    node = cluster.add_node("p")
+    with pytest.raises(ValueError):
+        ForwardingProxy(node, 80, {}, mode="bogus")
+
+
+def test_hash_route_deterministic():
+    class Msg:
+        meta = {"path": "/vol/file7"}
+        msg_id = 1
+
+    keys = ["a", "b", "c"]
+    assert hash_route(Msg(), keys) == hash_route(Msg(), keys)
+
+
+def test_field_route_honors_explicit_target():
+    class Msg:
+        def __init__(self, servlet):
+            self.meta = {"servlet": servlet}
+
+    route = field_route("servlet")
+    assert route(Msg("b"), ["a", "b"]) == "b"
+    # Unknown target falls back to a stable hash.
+    assert route(Msg("ghost"), ["a", "b"]) in ("a", "b")

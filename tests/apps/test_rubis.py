@@ -1,0 +1,125 @@
+"""RUBiS site: request profiles, DB, servlets, assembled flow."""
+
+import pytest
+
+from repro.apps.rubis.db import DbServer
+from repro.apps.rubis.requests import BIDDING, COMMENT, PROFILES, Request
+from repro.apps.rubis.site import RubisSite
+from repro.cluster import Cluster
+
+
+def test_profiles_match_paper_characterization():
+    # "The bidding request is cpu intensive ... The comment request on the
+    # other hand generates significant network traffic."
+    assert BIDDING.servlet_cpu > 2 * COMMENT.servlet_cpu
+    assert COMMENT.response_bytes > 10 * BIDDING.response_bytes
+    # Bidding has real-time deadlines; comments are less stringent.
+    assert BIDDING.period < COMMENT.period
+    assert BIDDING.window_x / BIDDING.window_y < COMMENT.window_x / COMMENT.window_y
+    assert set(PROFILES) == {"bidding", "comment"}
+
+
+def test_request_meta_carries_profile():
+    request = Request(BIDDING, session=3, arrival=1.5)
+    meta = request.meta()
+    assert meta["class"] == "bidding"
+    assert meta["session"] == 3
+    assert meta["req_id"] == request.request_id
+    assert meta["servlet_cpu"] == BIDDING.servlet_cpu
+
+
+def test_request_ids_unique():
+    a = Request(BIDDING, 0, 0.0)
+    b = Request(COMMENT, 0, 0.0)
+    assert a.request_id != b.request_id
+
+
+@pytest.fixture
+def site_cluster():
+    cluster = Cluster(seed=37)
+    cluster.add_node("client")
+    cluster.add_node("apache")
+    cluster.add_node("servlet1")
+    cluster.add_node("servlet2")
+    cluster.add_node("db", with_disk=True)
+    site = RubisSite(cluster, "apache", ["servlet1", "servlet2"], "db").start()
+    return cluster, site
+
+
+def _browse(ctx, profile, servlet, count, latencies):
+    sock = yield from ctx.connect("apache", 80)
+    for _ in range(count):
+        request = Request(profile, session=0, arrival=ctx.now)
+        meta = request.meta()
+        meta["servlet"] = servlet
+        t0 = ctx.now
+        yield from ctx.send_message(
+            sock, profile.request_bytes, kind=profile.name, meta=meta
+        )
+        reply = yield from ctx.recv_message(sock)
+        latencies.append(ctx.now - t0)
+        assert reply.size == profile.response_bytes
+    yield from ctx.close(sock)
+
+
+def test_bidding_flow_through_all_tiers(site_cluster):
+    cluster, site = site_cluster
+    latencies = []
+    cluster.node("client").spawn("cli", _browse, BIDDING, "servlet1", 3, latencies)
+    cluster.run(until=10.0)
+    assert len(latencies) == 3
+    assert site.servlets["servlet1"].by_class == {"bidding": 3}
+    assert site.servlets["servlet2"].requests == 0
+    assert site.db.queries == 3
+    assert site.db.reads == 3
+    # Latency dominated by bidding's servlet CPU.
+    assert min(latencies) > BIDDING.servlet_cpu
+
+
+def test_comment_writes_to_db(site_cluster):
+    cluster, site = site_cluster
+    latencies = []
+    cluster.node("client").spawn("cli", _browse, COMMENT, "servlet2", 2, latencies)
+    cluster.run(until=10.0)
+    assert site.db.writes == 2
+    assert site.servlets["servlet2"].by_class == {"comment": 2}
+
+
+def test_apache_routes_on_servlet_field(site_cluster):
+    cluster, site = site_cluster
+    cluster.node("client").spawn("c1", _browse, BIDDING, "servlet1", 2, [])
+    cluster.node("client").spawn("c2", _browse, BIDDING, "servlet2", 2, [])
+    cluster.run(until=10.0)
+    assert site.apache.per_backend == {"servlet1": 2, "servlet2": 2}
+    assert site.stats()["apache"]["forwarded"] == 4
+
+
+def test_cpu_load_injection_slows_servlet(site_cluster):
+    cluster, site = site_cluster
+    before, after = [], []
+    cluster.node("client").spawn("warm", _browse, BIDDING, "servlet1", 3, before)
+    cluster.run(until=5.0)
+    site.inject_cpu_load("servlet1", start=cluster.sim.now, duration=30.0, duty=0.8)
+    cluster.node("client").spawn("hot", _browse, BIDDING, "servlet1", 3, after)
+    cluster.run(until=cluster.sim.now + 20.0)
+    assert len(after) == 3
+    # Skip the first warm-up request (it waits behind the DB prewarm scan).
+    steady_before = before[1:]
+    assert sum(after) / len(after) > 2.0 * sum(steady_before) / len(steady_before)
+
+
+def test_db_requires_disk():
+    cluster = Cluster(seed=1)
+    nodisk = cluster.add_node("nodisk")
+    with pytest.raises(ValueError):
+        DbServer(nodisk)
+
+
+def test_db_prewarm_keeps_queries_fast(site_cluster):
+    cluster, site = site_cluster
+    latencies = []
+    cluster.node("client").spawn("cli", _browse, BIDDING, "servlet1", 5, latencies)
+    cluster.run(until=20.0)
+    # After the warm-up scan completes (the first request may queue behind
+    # it), queries hit the page cache: no full-seek latencies.
+    assert max(latencies[1:]) < BIDDING.servlet_cpu + 10e-3

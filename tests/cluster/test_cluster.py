@@ -1,0 +1,83 @@
+"""Cluster assembly, clocks, and NTP synchronization."""
+
+import pytest
+
+from repro.cluster import Cluster, NodeClock, synchronize
+from repro.cluster.clock import ClockTable
+
+
+def test_add_node_assigns_ips():
+    cluster = Cluster(seed=1)
+    a = cluster.add_node("a")
+    b = cluster.add_node("b")
+    assert a.ip != b.ip
+    assert cluster.node("a") is a
+    assert cluster.node_for_ip(b.ip) is b
+
+
+def test_duplicate_node_name_rejected():
+    cluster = Cluster(seed=1)
+    cluster.add_node("a")
+    with pytest.raises(ValueError):
+        cluster.add_node("a")
+
+
+def test_resolve_by_name_and_ip():
+    cluster = Cluster(seed=1)
+    a = cluster.add_node("a")
+    assert cluster.resolve("a") is a.kernel
+    assert cluster.resolve(a.ip) is a.kernel
+    with pytest.raises(KeyError):
+        cluster.resolve("ghost")
+
+
+def test_one_way_latency_under_point_three_ms():
+    """Paper: network RTT is insignificant, < 0.3 ms."""
+    cluster = Cluster(seed=1)
+    assert 2.0 * cluster.one_way_latency() < 0.3e-3
+
+
+def test_node_clock_roundtrip():
+    clock = NodeClock(offset=0.5, drift=1e-4)
+    local = clock.local_time(100.0)
+    assert local == pytest.approx(100.0 * 1.0001 + 0.5)
+    assert clock.sim_time(local) == pytest.approx(100.0)
+
+
+def test_node_clock_drift_validation():
+    with pytest.raises(ValueError):
+        NodeClock(drift=-1.5)
+
+
+def test_clock_table_translation():
+    table = ClockTable("ref")
+    table.set_offset("n1", 0.25)
+    assert table.to_reference("n1", 10.25) == pytest.approx(10.0)
+    assert table.to_reference("ref", 5.0) == 5.0
+    assert table.known("n1") and not table.known("n2")
+
+
+def test_ntp_recovers_static_offsets():
+    cluster = Cluster(seed=5)
+    cluster.add_node("mgmt")
+    cluster.add_node("n1", clock=NodeClock(offset=0.25))
+    cluster.add_node("n2", clock=NodeClock(offset=-0.125))
+    table = synchronize(cluster, "mgmt")
+    assert table.offset("n1") == pytest.approx(0.25, abs=1e-4)
+    assert table.offset("n2") == pytest.approx(-0.125, abs=1e-4)
+
+
+def test_ntp_accuracy_with_drift():
+    cluster = Cluster(seed=5)
+    cluster.add_node("mgmt")
+    cluster.add_node("n1", clock=NodeClock(offset=0.1, drift=5e-6))
+    table = synchronize(cluster, "mgmt")
+    # Offset estimate good to well under the LAN RTT.
+    assert table.offset("n1") == pytest.approx(0.1, abs=1e-3)
+
+
+def test_local_time_uses_node_clock():
+    cluster = Cluster(seed=5)
+    node = cluster.add_node("n1", clock=NodeClock(offset=1.0))
+    cluster.sim.run(until=2.0)
+    assert node.local_time() == pytest.approx(3.0)

@@ -1,0 +1,151 @@
+"""ARM-token correlation for interleaved request streams."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import SysProf, SysProfConfig
+from repro.core.arm import ArmTracker
+from repro.core.interactions import InteractionTracker
+
+CLIENT = ("10.0.0.1", 5000)
+SERVER = ("10.0.0.2", 80)
+LOCAL_IP = "10.0.0.2"
+
+
+def test_interleaved_requests_paired_by_token():
+    emitted = []
+    tracker = ArmTracker("server", LOCAL_IP, emitted.append)
+    # Three requests pipelined before any response (direction flips would
+    # see one giant message).
+    for index in range(3):
+        tracker.on_packet(CLIENT, SERVER, 1.0 + index * 0.1, 1000,
+                          kind="q", arm=index, is_last=True)
+    # Responses return out of order.
+    for index in (2, 0, 1):
+        tracker.on_packet(SERVER, CLIENT, 2.0 + index * 0.1, 500,
+                          kind="r", arm=index, is_last=True)
+    assert len(emitted) == 3
+    assert tracker.unpaired_messages == 0
+    by_arm = {record.start_ts: record for record in emitted}
+    assert len(by_arm) == 3
+    for record in emitted:
+        assert record.request.bytes == 1000
+        assert record.response.bytes == 500
+
+
+def test_direction_flip_tracker_fails_on_same_stream():
+    """Counter-test: the black-box tracker mis-segments this pattern."""
+    emitted = []
+    tracker = InteractionTracker("server", LOCAL_IP, emitted.append)
+    for index in range(3):
+        tracker.on_packet(CLIENT, SERVER, 1.0 + index * 0.1, 1000)
+    for index in range(3):
+        tracker.on_packet(SERVER, CLIENT, 2.0 + index * 0.1, 500)
+    tracker.flush()
+    # One inbound run + one outbound run -> a single (wrong) interaction.
+    assert len(emitted) == 1
+    assert emitted[0].request.packets == 3
+
+
+def test_multi_segment_messages_accumulate():
+    emitted = []
+    tracker = ArmTracker("server", LOCAL_IP, emitted.append)
+    tracker.note_rx_start(CLIENT, SERVER, 0.95, arm=7)
+    tracker.on_packet(CLIENT, SERVER, 1.0, 1400, arm=7, is_last=False)
+    tracker.on_packet(CLIENT, SERVER, 1.1, 600, arm=7, is_last=True)
+    tracker.on_deliver(CLIENT, SERVER, 1.3, arm=7)
+    tracker.on_packet(SERVER, CLIENT, 2.0, 800, arm=7, is_last=True)
+    assert len(emitted) == 1
+    record = emitted[0]
+    assert record.request.packets == 2
+    assert record.request.bytes == 2000
+    assert record.request.first_rx_ts == 0.95
+    assert record.request.deliver_ts == 1.3
+
+
+def test_untagged_traffic_uses_fallback():
+    emitted = []
+    fallback = InteractionTracker("server", LOCAL_IP, emitted.append)
+    tracker = ArmTracker("server", LOCAL_IP, emitted.append, fallback=fallback)
+    tracker.on_packet(CLIENT, SERVER, 1.0, 100)  # no arm token
+    tracker.on_packet(SERVER, CLIENT, 1.5, 50)
+    tracker.flush()
+    assert len(emitted) == 1
+    assert tracker.untagged_packets == 2
+
+
+def test_flush_counts_incomplete_transactions():
+    emitted = []
+    tracker = ArmTracker("server", LOCAL_IP, emitted.append)
+    tracker.on_packet(CLIENT, SERVER, 1.0, 100, arm=1, is_last=True)
+    tracker.flush()
+    assert emitted == []
+    assert tracker.unpaired_messages == 1
+
+
+def test_expire_idle_drops_stale_transactions():
+    emitted = []
+    tracker = ArmTracker("server", LOCAL_IP, emitted.append, idle_timeout=0.5)
+    tracker.on_packet(CLIENT, SERVER, 1.0, 100, arm=1, is_last=True)
+    assert tracker.expire_idle(10.0) == 1
+    assert tracker.open == {}
+
+
+def _pipelined_cluster(arm_correlation):
+    """Client pipelines 4 tagged requests on ONE connection; the server
+    answers them in order after receiving all."""
+    cluster = Cluster(seed=71)
+    cluster.add_node("client")
+    cluster.add_node("server")
+    cluster.add_node("mgmt")
+    sysprof = SysProf(
+        cluster,
+        SysProfConfig(eviction_interval=0.05, arm_correlation=arm_correlation),
+    )
+    sysprof.install(monitored=["server"], gpa_node="mgmt")
+    sysprof.start()
+
+    def server(ctx):
+        lsock = yield from ctx.listen(8080)
+        sock = yield from ctx.accept(lsock)
+        pending = []
+        while len(pending) < 4:
+            message = yield from ctx.recv_message(sock)
+            pending.append(message)
+        for message in pending:
+            yield from ctx.compute(0.001)
+            yield from ctx.send_message(
+                sock, 700, kind="reply", meta={"arm_id": message.meta["arm_id"]}
+            )
+
+    def client(ctx):
+        sock = yield from ctx.connect("server", 8080)
+        for index in range(4):
+            yield from ctx.send_message(
+                sock, 3000, kind="query", meta={"arm_id": 100 + index}
+            )
+        for _ in range(4):
+            yield from ctx.recv_message(sock)
+        yield from ctx.close(sock)
+
+    cluster.node("server").spawn("srv", server)
+    cluster.node("client").spawn("cli", client)
+    cluster.run(until=2.0)
+    sysprof.flush()
+    return sysprof
+
+
+def test_end_to_end_arm_mode_measures_pipelined_flow():
+    sysprof = _pipelined_cluster(arm_correlation=True)
+    records = sysprof.gpa.query_interactions(node="server")
+    assert len(records) == 4
+    for record in records:
+        assert record["req_bytes"] == 3000
+        assert record["resp_bytes"] == 700
+
+
+def test_end_to_end_blackbox_mode_undercounts_pipelined_flow():
+    sysprof = _pipelined_cluster(arm_correlation=False)
+    records = sysprof.gpa.query_interactions(node="server")
+    # Direction flips collapse the 4 pipelined requests into one run.
+    assert len(records) < 4

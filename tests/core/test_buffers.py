@@ -1,0 +1,100 @@
+"""Per-CPU double buffering: switch-on-full, loss on late consumer."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core.buffers import DoubleBuffer, SingleBuffer
+
+
+@pytest.fixture
+def kernel():
+    return Cluster(seed=11).add_node("n1").kernel
+
+
+def test_append_until_full_notifies(kernel):
+    handoffs = []
+    buffer = DoubleBuffer(kernel, 3, on_full=lambda b, i: handoffs.append(i))
+    for value in range(3):
+        buffer.append(value)
+    assert handoffs == [0]
+    assert buffer.active_length == 0  # switched to the other buffer
+
+
+def test_drain_returns_and_clears(kernel):
+    handoffs = []
+    buffer = DoubleBuffer(kernel, 2, on_full=lambda b, i: handoffs.append(i))
+    buffer.append("a")
+    buffer.append("b")
+    records = buffer.drain(handoffs[0])
+    assert records == ["a", "b"]
+    assert buffer.drain(handoffs[0]) == []
+
+
+def test_overwrite_when_consumer_late(kernel):
+    """Fill both buffers without draining: the older one is overwritten."""
+    buffer = DoubleBuffer(kernel, 2, on_full=lambda b, i: None)
+    for value in range(6):
+        buffer.append(value)
+    # Switches 2 and 3 each found the other buffer undrained: 2+2 lost.
+    assert buffer.records_lost == 4
+    assert buffer.switches == 3
+
+
+def test_no_loss_when_drained_promptly(kernel):
+    buffer = DoubleBuffer(kernel, 2, on_full=lambda b, i: b.drain(i))
+    for value in range(20):
+        buffer.append(value)
+    assert buffer.records_lost == 0
+    assert buffer.records_appended == 20
+
+
+def test_force_switch_flushes_partial(kernel):
+    handoffs = []
+    buffer = DoubleBuffer(kernel, 100, on_full=lambda b, i: handoffs.append(i))
+    buffer.append("only")
+    assert buffer.switch(force=True) is not None
+    assert handoffs == [0]
+    assert buffer.drain(0) == ["only"]
+
+
+def test_switch_empty_is_noop(kernel):
+    buffer = DoubleBuffer(kernel, 4)
+    assert buffer.switch(force=True) is None
+    assert buffer.switches == 0
+
+
+def test_switch_charges_irq_time(kernel):
+    buffer = DoubleBuffer(kernel, 1, on_full=lambda b, i: b.drain(i))
+    before = kernel.cpu.busy_time
+    buffer.append("x")
+    kernel.sim.run()
+    assert kernel.cpu.busy_time - before == pytest.approx(
+        kernel.costs.buffer_switch
+    )
+
+
+def test_capacity_validation(kernel):
+    with pytest.raises(ValueError):
+        DoubleBuffer(kernel, 0)
+
+
+def test_stats_shape(kernel):
+    buffer = DoubleBuffer(kernel, 2, on_full=lambda b, i: None)
+    buffer.append(1)
+    stats = buffer.stats()
+    assert stats == {"appended": 1, "lost": 0, "switches": 0, "active_length": 1}
+
+
+def test_single_buffer_loses_under_load(kernel):
+    """The ablation variant drops records when the consumer lags."""
+    buffer = SingleBuffer(kernel, 2, on_full=lambda b, i: None)  # never drained
+    for value in range(10):
+        buffer.append(value)
+    assert buffer.records_lost > 0
+
+
+def test_single_buffer_ok_when_drained(kernel):
+    buffer = SingleBuffer(kernel, 2, on_full=lambda b, i: b.drain(i))
+    for value in range(10):
+        buffer.append(value)
+    assert buffer.records_lost == 0

@@ -1,0 +1,101 @@
+"""Controller knobs and toolkit lifecycle."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import SysProf, SysProfConfig
+from repro.ossim.tracepoints import NULL_TRACEPOINTS
+from tests.core.helpers import build_monitored_pair, drive_traffic, request_client
+
+
+def test_install_defaults_to_all_nodes():
+    cluster = Cluster(seed=2)
+    cluster.add_node("a")
+    cluster.add_node("b")
+    sysprof = SysProf(cluster).install()
+    assert set(sysprof.monitors) == {"a", "b"}
+    assert sysprof.gpa is None
+
+
+def test_start_stop_restores_null_tracepoints():
+    cluster, sysprof = build_monitored_pair()
+    kernel = cluster.node("server").kernel
+    assert kernel.tracepoints is sysprof.kprof("server")
+    sysprof.stop()
+    assert not sysprof.kprof("server").enabled("sock.enqueue")
+
+
+def test_disable_enable_event_classes():
+    cluster, sysprof = build_monitored_pair()
+    sysprof.controller.disable_events(["network"], node="server")
+    drive_traffic(cluster, sysprof, count=4)
+    assert sysprof.lpa("server").tracker.interactions_emitted == 0
+    sysprof.controller.enable_events(["network"], node="server")
+    cluster.node("server").kernel  # still installed
+    cluster.node("client").spawn("cli2", request_client, "server", 8080, 4)
+    cluster.run(until=cluster.sim.now + 2.0)
+    assert sysprof.lpa("server").tracker.interactions_emitted == 4
+
+
+def test_masking_reduces_monitoring_cost():
+    cluster_a, sysprof_a = build_monitored_pair(seed=31)
+    drive_traffic(cluster_a, sysprof_a, count=10)
+    full_cost = cluster_a.node("server").kernel.cpu.busy_time
+
+    cluster_b, sysprof_b = build_monitored_pair(seed=31)
+    sysprof_b.controller.disable_events(
+        ["network", "scheduling", "syscall"], node="server"
+    )
+    drive_traffic(cluster_b, sysprof_b, count=10)
+    masked_cost = cluster_b.node("server").kernel.cpu.busy_time
+    assert masked_cost < full_cost
+
+
+def test_set_buffer_capacity_and_window():
+    cluster, sysprof = build_monitored_pair()
+    sysprof.controller.set_buffer_capacity(8, node="server")
+    sysprof.controller.set_window_size(2, node="server")
+    drive_traffic(cluster, sysprof, count=6)
+    assert sysprof.lpa("server").buffer.capacity == 8
+    assert len(sysprof.lpa("server").window_snapshot()) == 2
+
+
+def test_set_granularity_at_runtime():
+    cluster, sysprof = build_monitored_pair()
+    sysprof.controller.set_granularity("class")
+    assert sysprof.lpa("server").granularity == "class"
+    with pytest.raises(ValueError):
+        sysprof.controller.set_granularity("bogus")
+
+
+def test_set_eviction_interval():
+    cluster, sysprof = build_monitored_pair()
+    sysprof.controller.set_eviction_interval(0.5, node="server")
+    assert sysprof.monitor("server").daemon.eviction_interval == 0.5
+
+
+def test_controller_status_report():
+    cluster, sysprof = build_monitored_pair()
+    drive_traffic(cluster, sysprof, count=3)
+    status = sysprof.controller.status()
+    assert "server" in status
+    assert "interaction-lpa" in status["server"]["lpas"]
+    assert status["server"]["daemon"]["records_published"] >= 3
+
+
+def test_local_window_query():
+    cluster, sysprof = build_monitored_pair()
+    drive_traffic(cluster, sysprof, count=3)
+    window = sysprof.local_window("server")
+    assert len(window) == 3
+
+
+def test_unmonitored_kernel_has_null_tracepoints():
+    cluster = Cluster(seed=2)
+    node = cluster.add_node("plain")
+    assert node.kernel.tracepoints is NULL_TRACEPOINTS
+
+
+def test_double_start_is_idempotent():
+    cluster, sysprof = build_monitored_pair()
+    assert sysprof.start() is sysprof

@@ -1,0 +1,108 @@
+"""Dissemination daemon + publish-subscribe channels."""
+
+import pytest
+
+from repro.core.channels import ChannelHub, is_sysprof_port
+from repro.core import SysProfConfig
+from tests.core.helpers import build_monitored_pair, drive_traffic
+
+
+def test_hub_subscribe_unsubscribe():
+    hub = ChannelHub()
+    hub.subscribe("sysprof/x", "mgmt", 9100)
+    hub.subscribe("sysprof/x", "other", 9101)
+    assert hub.subscribers("sysprof/x") == [("mgmt", 9100), ("other", 9101)]
+    hub.unsubscribe("sysprof/x", "mgmt", 9100)
+    assert hub.subscribers("sysprof/x") == [("other", 9101)]
+    assert hub.subscribers("sysprof/none") == []
+
+
+def test_hub_rejects_out_of_range_ports():
+    hub = ChannelHub()
+    with pytest.raises(ValueError):
+        hub.subscribe("sysprof/x", "mgmt", 80)
+
+
+def test_hub_duplicate_subscription_idempotent():
+    hub = ChannelHub()
+    hub.subscribe("c", "n", 9100)
+    hub.subscribe("c", "n", 9100)
+    assert len(hub.subscribers("c")) == 1
+
+
+def test_is_sysprof_port():
+    assert is_sysprof_port(9100) and is_sysprof_port(9199)
+    assert not is_sysprof_port(9099) and not is_sysprof_port(9200)
+
+
+def test_daemon_publishes_binary_records():
+    cluster, sysprof = build_monitored_pair()
+    drive_traffic(cluster, sysprof, count=6)
+    daemon = sysprof.monitor("server").daemon
+    stats = daemon.stats()
+    assert stats["records_published"] >= 6
+    assert stats["publishes"] >= 1
+    assert stats["bytes_published"] > 100
+
+
+def test_daemon_procfs_exports():
+    cluster, sysprof = build_monitored_pair()
+    drive_traffic(cluster, sysprof, count=4)
+    procfs = cluster.node("server").kernel.procfs
+    daemon_text = procfs.read("/proc/sysprof/daemon")
+    assert "records_published=" in daemon_text
+    lpa_text = procfs.read("/proc/sysprof/interaction-lpa")
+    assert "interactions=4" in lpa_text
+    assert "interaction id=" in lpa_text
+
+
+def test_data_filter_drops_records():
+    cluster, sysprof = build_monitored_pair()
+    daemon = sysprof.monitor("server").daemon
+    daemon.data_filter = lambda lpa_name, record: (
+        record.get("request_class") != "query"
+    )
+    drive_traffic(cluster, sysprof, count=5)
+    assert daemon.records_filtered >= 5
+    assert sysprof.gpa.query_interactions(node="server") == []
+
+
+def test_text_encoding_ablation_publishes_but_gpa_skips():
+    cluster, sysprof = build_monitored_pair(
+        config=SysProfConfig(eviction_interval=0.05, text_encoding=True)
+    )
+    drive_traffic(cluster, sysprof, count=5)
+    daemon = sysprof.monitor("server").daemon
+    assert daemon.records_published >= 5
+    assert sysprof.gpa.query_interactions(node="server") == []
+
+
+def test_channel_traffic_uses_simulated_network():
+    cluster, sysprof = build_monitored_pair()
+    drive_traffic(cluster, sysprof, count=6)
+    mgmt_nic = cluster.node("mgmt").kernel.nic
+    assert mgmt_nic.rx_packets > 0  # GPA received real packets
+
+
+def test_daemon_stop_halts_publishing():
+    cluster, sysprof = build_monitored_pair()
+    drive_traffic(cluster, sysprof, count=4)
+    daemon = sysprof.monitor("server").daemon
+    published = daemon.records_published
+    daemon.stop()
+    cluster.run(until=cluster.sim.now + 1.0)
+    from tests.core.helpers import request_client
+
+    cluster.node("client").spawn("cli2", request_client, "server", 8080, 4)
+    cluster.run(until=cluster.sim.now + 2.0)
+    assert daemon.records_published == published
+
+
+def test_no_subscribers_means_local_only():
+    cluster, sysprof = build_monitored_pair(gpa_node=None)
+    drive_traffic(cluster, sysprof, count=4)
+    daemon = sysprof.monitor("server").daemon
+    # Records were collected and encoded, but nobody subscribed.
+    assert daemon.records_published >= 4
+    assert daemon.publishes == 0
+    assert sysprof.lpa("server").tracker.interactions_emitted == 4

@@ -1,0 +1,353 @@
+"""E-Code: lexer, parser, evaluation, sandboxing, budget."""
+
+import pytest
+
+from repro.core.ecode import (
+    ECodeBudgetExceeded,
+    ECodeError,
+    ECodeProgram,
+    tokenize,
+)
+from repro.core.events import MonEvent
+
+
+def compile_and_instance(source, budget=100000):
+    return ECodeProgram.compile(source).instantiate(step_budget=budget)
+
+
+# ----------------------------------------------------------------------
+# lexer
+# ----------------------------------------------------------------------
+
+def test_tokenize_basics():
+    tokens = tokenize("int x = 42; // comment\n double y;")
+    kinds = [(token.kind, token.value) for token in tokens]
+    assert ("keyword", "int") in kinds
+    assert ("number", "42") in kinds
+    assert ("eof", "") == kinds[-1]
+    assert not any(value == "// comment" for _, value in kinds)
+
+
+def test_tokenize_block_comment_and_ops():
+    tokens = tokenize("/* multi\nline */ a && b || c <= 1.5e3")
+    values = [token.value for token in tokens]
+    assert "&&" in values and "||" in values and "<=" in values
+    assert "1.5e3" in values
+
+
+def test_tokenize_rejects_garbage():
+    with pytest.raises(ECodeError, match="lex error"):
+        tokenize("int x = `weird`;")
+
+
+# ----------------------------------------------------------------------
+# declarations + arithmetic
+# ----------------------------------------------------------------------
+
+def test_global_initialization_and_types():
+    instance = compile_and_instance("int count = 2 + 3; double ratio = 1 / 4.0;")
+    assert instance.globals["count"] == 5
+    assert instance.globals["ratio"] == pytest.approx(0.25)
+
+
+def test_integer_division_semantics():
+    instance = compile_and_instance(
+        "int f() { return 7 / 2; } double g() { return 7 / 2.0; }"
+    )
+    assert instance.call("f") == 3
+    assert instance.call("g") == pytest.approx(3.5)
+
+
+def test_operator_precedence():
+    instance = compile_and_instance("int f() { return 2 + 3 * 4 - 1; }")
+    assert instance.call("f") == 13
+
+
+def test_parenthesized_and_unary():
+    instance = compile_and_instance("int f() { return -(2 + 3) * 2; }")
+    assert instance.call("f") == -10
+
+
+def test_comparison_and_logic():
+    instance = compile_and_instance(
+        "int f(int a, int b) { return a < b && b != 0 || a == 99; }"
+    )
+    assert instance.call("f", 1, 2) == 1
+    assert instance.call("f", 5, 2) == 0
+    assert instance.call("f", 99, 0) == 1
+
+
+def test_modulo_and_builtins():
+    instance = compile_and_instance(
+        "int f() { return max(10 % 3, abs(0 - 5)); } double g() { return sqrt(9.0); }"
+    )
+    assert instance.call("f") == 5
+    assert instance.call("g") == pytest.approx(3.0)
+
+
+# ----------------------------------------------------------------------
+# control flow
+# ----------------------------------------------------------------------
+
+def test_if_else_chain():
+    instance = compile_and_instance(
+        """
+        int classify(double v) {
+            if (v < 1.0) { return 0; }
+            else if (v < 10.0) { return 1; }
+            else return 2;
+        }
+        """
+    )
+    assert instance.call("classify", 0.5) == 0
+    assert instance.call("classify", 5.0) == 1
+    assert instance.call("classify", 50.0) == 2
+
+
+def test_while_loop_sums():
+    instance = compile_and_instance(
+        """
+        int sum_to(int n) {
+            int total = 0;
+            int i = 1;
+            while (i <= n) { total += i; i += 1; }
+            return total;
+        }
+        """
+    )
+    assert instance.call("sum_to", 10) == 55
+
+
+def test_compound_assignment():
+    instance = compile_and_instance(
+        """
+        double acc = 0.0;
+        void add(double v) { acc += v; acc *= 2.0; }
+        """
+    )
+    instance.call("add", 1.0)
+    assert instance.globals["acc"] == 2.0
+
+
+def test_local_shadows_global():
+    instance = compile_and_instance(
+        """
+        int x = 10;
+        int f() { int x = 1; x += 1; return x; }
+        """
+    )
+    assert instance.call("f") == 2
+    assert instance.globals["x"] == 10
+
+
+def test_function_calls_functions():
+    instance = compile_and_instance(
+        """
+        int double_it(int v) { return v * 2; }
+        int quad(int v) { return double_it(double_it(v)); }
+        """
+    )
+    assert instance.call("quad", 3) == 12
+
+
+# ----------------------------------------------------------------------
+# events
+# ----------------------------------------------------------------------
+
+def test_event_field_access():
+    instance = compile_and_instance(
+        """
+        int big = 0;
+        void handle(event e) { if (e.size > 1000) { big += 1; } }
+        """
+    )
+    instance.call("handle", MonEvent("net.rx.ip", 1.0, "n1", {"size": 2000}))
+    instance.call("handle", MonEvent("net.rx.ip", 1.1, "n1", {"size": 10}))
+    assert instance.globals["big"] == 1
+
+
+def test_event_builtin_fields_and_missing_default():
+    instance = compile_and_instance(
+        """
+        double last = 0.0;
+        double missing = 0.0;
+        void handle(event e) { last = e.ts; missing = e.absent_field; }
+        """
+    )
+    instance.call("handle", MonEvent("x", 4.5, "n1", {}))
+    assert instance.globals["last"] == 4.5
+    assert instance.globals["missing"] == 0
+
+
+def test_string_comparison_on_fields():
+    instance = compile_and_instance(
+        """
+        int reads = 0;
+        void handle(event e) { if (e.call == "read") { reads += 1; } }
+        """
+    )
+    instance.call("handle", MonEvent("syscall.entry", 0.0, "n1", {"call": "read"}))
+    instance.call("handle", MonEvent("syscall.entry", 0.0, "n1", {"call": "write"}))
+    assert instance.globals["reads"] == 1
+
+
+# ----------------------------------------------------------------------
+# errors + safety
+# ----------------------------------------------------------------------
+
+def test_parse_error_reports_line():
+    with pytest.raises(ECodeError, match="line 2"):
+        ECodeProgram.compile("int x = 1;\nint f( { }")
+
+
+def test_undeclared_assignment_rejected():
+    instance = compile_and_instance("void f() { ghost = 1; }")
+    with pytest.raises(ECodeError, match="undeclared"):
+        instance.call("f")
+
+
+def test_undefined_name_rejected():
+    instance = compile_and_instance("int f() { return ghost; }")
+    with pytest.raises(ECodeError, match="undefined"):
+        instance.call("f")
+
+
+def test_division_by_zero_raises_ecode_error():
+    instance = compile_and_instance("int f(int d) { return 1 / d; }")
+    with pytest.raises(ECodeError, match="division by zero"):
+        instance.call("f", 0)
+
+
+def test_unknown_function_rejected():
+    instance = compile_and_instance("int f() { return system(1); }")
+    with pytest.raises(ECodeError, match="unknown function"):
+        instance.call("f")
+
+
+def test_no_python_builtins_reachable():
+    instance = compile_and_instance("int f() { return open(1); }")
+    with pytest.raises(ECodeError):
+        instance.call("f")
+
+
+def test_infinite_loop_hits_budget():
+    instance = compile_and_instance(
+        "void f() { int i = 0; while (1) { i += 1; } }", budget=5000
+    )
+    with pytest.raises(ECodeBudgetExceeded):
+        instance.call("f")
+
+
+def test_wrong_arity_rejected():
+    instance = compile_and_instance("int f(int a) { return a; }")
+    with pytest.raises(ECodeError, match="takes 1 args"):
+        instance.call("f")
+
+
+def test_missing_function_rejected():
+    instance = compile_and_instance("int x = 1;")
+    with pytest.raises(ECodeError, match="no such function"):
+        instance.call("nope")
+
+
+def test_void_global_rejected():
+    with pytest.raises(ECodeError, match="void variable"):
+        ECodeProgram.compile("void x;")
+
+
+def test_function_names_listing():
+    program = ECodeProgram.compile(
+        "void handle(event e) { } double metric_mean() { return 0.0; }"
+    )
+    assert program.function_names == ["handle", "metric_mean"]
+
+
+# ----------------------------------------------------------------------
+# arrays (in-kernel histograms for CPAs)
+# ----------------------------------------------------------------------
+
+def test_array_declare_index_assign():
+    instance = compile_and_instance(
+        """
+        int hist[4];
+        void add(int bucket) { hist[bucket] += 1; }
+        int get(int bucket) { return hist[bucket]; }
+        """
+    )
+    instance.call("add", 2)
+    instance.call("add", 2)
+    instance.call("add", 0)
+    assert instance.call("get", 2) == 2
+    assert instance.call("get", 0) == 1
+    assert instance.globals["hist"] == [1, 0, 2, 0]
+
+
+def test_local_array_and_len_builtin():
+    instance = compile_and_instance(
+        """
+        int sum_squares(int n) {
+            double tmp[8];
+            int i = 0;
+            while (i < n) { tmp[i] = i * i; i += 1; }
+            double total = 0.0;
+            i = 0;
+            while (i < len(tmp)) { total += tmp[i]; i += 1; }
+            return total;
+        }
+        """
+    )
+    assert instance.call("sum_squares", 4) == 14  # 0+1+4+9
+
+
+def test_array_histogram_program():
+    """The motivating use: a latency histogram analyzer."""
+    instance = compile_and_instance(
+        """
+        int buckets[5];
+        void handle(event e) {
+            int b = 0;
+            double v = e.latency;
+            if (v >= 0.001) { b = 1; }
+            if (v >= 0.01) { b = 2; }
+            if (v >= 0.1) { b = 3; }
+            if (v >= 1.0) { b = 4; }
+            buckets[b] += 1;
+        }
+        double metric_slow() { return buckets[3] + buckets[4]; }
+        """
+    )
+    for latency in (0.0005, 0.005, 0.05, 0.5, 5.0):
+        instance.call("handle", MonEvent("x", 0.0, "n", {"latency": latency}))
+    assert instance.globals["buckets"] == [1, 1, 1, 1, 1]
+    assert instance.call("metric_slow") == 2
+
+
+def test_array_bounds_checked():
+    instance = compile_and_instance(
+        "int a[3]; void f(int i) { a[i] = 1; } int g(int i) { return a[i]; }"
+    )
+    with pytest.raises(ECodeError, match="out of bounds"):
+        instance.call("f", 3)
+    with pytest.raises(ECodeError, match="out of bounds"):
+        instance.call("g", -1)
+
+
+def test_indexing_non_array_rejected():
+    instance = compile_and_instance("int x = 1; int f() { return x[0]; }")
+    with pytest.raises(ECodeError, match="not an array"):
+        instance.call("f")
+
+
+def test_array_size_limits():
+    with pytest.raises(ECodeError, match="size out of range"):
+        compile_and_instance("int a[0];")
+    with pytest.raises(ECodeError, match="size out of range"):
+        compile_and_instance("int a[100000];")
+
+
+def test_array_expression_statement_not_confused():
+    """`h[i];` parses as an expression, not an assignment."""
+    instance = compile_and_instance(
+        "int h[2]; int f() { h[1] = 7; h[1]; return h[1]; }"
+    )
+    assert instance.call("f") == 7

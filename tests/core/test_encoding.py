@@ -1,0 +1,152 @@
+"""PBIO-style binary encoding: formats, roundtrips, self-description."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.encoding import (
+    FormatRegistry,
+    decode_records,
+    encode_records,
+    encode_text,
+)
+
+FIELDS = (
+    ("id", "u32"),
+    ("value", "f64"),
+    ("count", "i64"),
+    ("port", "u16"),
+    ("flag", "bool"),
+    ("name", "str12"),
+)
+
+
+def _registry():
+    registry = FormatRegistry()
+    return registry, registry.register("test.record", FIELDS)
+
+
+def test_roundtrip_single_record():
+    registry, fmt = _registry()
+    record = {"id": 7, "value": 3.25, "count": -9, "port": 8080,
+              "flag": True, "name": "hello"}
+    blob = encode_records(fmt, [record])
+    decoded_fmt, records = decode_records(registry, blob)
+    assert decoded_fmt is fmt
+    assert records == [record]
+
+
+def test_roundtrip_many_records():
+    registry, fmt = _registry()
+    originals = [
+        {"id": i, "value": i * 1.5, "count": i - 50, "port": i % 65536,
+         "flag": bool(i % 2), "name": "r{}".format(i)}
+        for i in range(100)
+    ]
+    _, decoded = decode_records(registry, encode_records(fmt, originals))
+    assert decoded == originals
+
+
+def test_string_truncation_and_padding():
+    registry, fmt = _registry()
+    record = {"id": 1, "value": 0.0, "count": 0, "port": 0, "flag": False,
+              "name": "much-longer-than-twelve-bytes"}
+    _, decoded = decode_records(registry, encode_records(fmt, [record]))
+    assert decoded[0]["name"] == "much-longer-"
+
+
+def test_empty_record_list():
+    registry, fmt = _registry()
+    _, decoded = decode_records(registry, encode_records(fmt, []))
+    assert decoded == []
+
+
+def test_record_size_fixed():
+    _, fmt = _registry()
+    assert fmt.record_size == 4 + 8 + 8 + 2 + 1 + 12
+
+
+def test_bad_magic_rejected():
+    registry, fmt = _registry()
+    blob = encode_records(fmt, [])
+    with pytest.raises(ValueError, match="magic"):
+        decode_records(registry, b"\x00\x00" + blob[2:])
+
+
+def test_truncated_blob_rejected():
+    registry, fmt = _registry()
+    blob = encode_records(
+        fmt,
+        [{"id": 1, "value": 0.0, "count": 0, "port": 0, "flag": False, "name": "x"}],
+    )
+    with pytest.raises(ValueError, match="truncated"):
+        decode_records(registry, blob[:-4])
+
+
+def test_self_describing_adopt():
+    """A decoder that never saw the format learns it from the descriptor."""
+    _, fmt = _registry()
+    fresh = FormatRegistry()
+    adopted = fresh.adopt(fmt.describe())
+    assert adopted.fields == fmt.fields
+    assert adopted.format_id == fmt.format_id
+    record = {"id": 3, "value": 1.0, "count": 2, "port": 1, "flag": True, "name": "ok"}
+    blob = encode_records(fmt, [record])
+    _, decoded = decode_records(fresh, blob)
+    assert decoded == [record]
+
+
+def test_register_is_idempotent():
+    registry = FormatRegistry()
+    first = registry.register("f", FIELDS)
+    second = registry.register("f", FIELDS)
+    assert first is second
+
+
+def test_conflicting_reregistration_rejected():
+    registry = FormatRegistry()
+    registry.register("f", FIELDS)
+    with pytest.raises(ValueError):
+        registry.register("f", (("other", "u32"),))
+
+
+def test_unknown_field_type_rejected():
+    registry = FormatRegistry()
+    with pytest.raises(ValueError):
+        registry.register("bad", (("x", "float128"),))
+
+
+def test_binary_much_smaller_than_text():
+    _, fmt = _registry()
+    records = [
+        {"id": i, "value": 1.0, "count": 2, "port": 3, "flag": False, "name": "n"}
+        for i in range(50)
+    ]
+    binary = encode_records(fmt, records)
+    text = encode_text(records)
+    assert len(binary) < len(text) / 2
+
+
+@given(
+    st.lists(
+        st.fixed_dictionaries(
+            {
+                "id": st.integers(0, 2**32 - 1),
+                "value": st.floats(allow_nan=False, allow_infinity=False,
+                                   width=64),
+                "count": st.integers(-(2**63), 2**63 - 1),
+                "port": st.integers(0, 65535),
+                "flag": st.booleans(),
+                "name": st.text(
+                    alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+                    max_size=12,
+                ),
+            }
+        ),
+        max_size=20,
+    )
+)
+def test_roundtrip_property(records):
+    registry = FormatRegistry()
+    fmt = registry.register("prop.record", FIELDS)
+    _, decoded = decode_records(registry, encode_records(fmt, records))
+    assert decoded == records

@@ -1,0 +1,28 @@
+"""MonEvent and event-type interning."""
+
+from repro.core.events import ETYPE_IDS, MonEvent, intern_etype
+from repro.ossim.tracepoints import ALL_EVENT_TYPES
+
+
+def test_static_types_interned_densely():
+    ids = [ETYPE_IDS[name] for name in ALL_EVENT_TYPES]
+    assert ids == list(range(len(ALL_EVENT_TYPES)))
+
+
+def test_dynamic_intern_stable():
+    first = intern_etype("custom.event.xyz")
+    second = intern_etype("custom.event.xyz")
+    assert first == second
+    assert first >= len(ALL_EVENT_TYPES)
+
+
+def test_mon_event_accessors():
+    event = MonEvent("sock.enqueue", 1.5, "n1", {
+        "src_ip": "10.0.0.1", "src_port": 5, "dst_ip": "10.0.0.2",
+        "dst_port": 80, "size": 100,
+    })
+    assert event["size"] == 100
+    assert event.get("missing", "default") == "default"
+    assert "size" in event and "missing" not in event
+    assert event.flow_tuple() == ("10.0.0.1", 5, "10.0.0.2", 80)
+    assert "sock.enqueue" in repr(event)

@@ -1,0 +1,155 @@
+"""Message/interaction extraction from packet direction flips (paper §2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.interactions import InteractionTracker
+
+CLIENT = ("10.0.0.1", 5000)
+SERVER = ("10.0.0.2", 80)
+LOCAL_IP = "10.0.0.2"
+
+
+def make_tracker(emitted):
+    return InteractionTracker("server", LOCAL_IP, emitted.append)
+
+
+def test_single_request_response_pair():
+    emitted = []
+    tracker = make_tracker(emitted)
+    tracker.on_packet(CLIENT, SERVER, 1.0, 1000, kind="query")
+    tracker.on_packet(CLIENT, SERVER, 1.1, 500, kind="query")
+    tracker.on_packet(SERVER, CLIENT, 2.0, 200, kind="reply")
+    tracker.flush()
+    assert len(emitted) == 1
+    record = emitted[0]
+    assert record.request.packets == 2
+    assert record.request.bytes == 1500
+    assert record.response.packets == 1
+    assert record.start_ts == 1.0
+    assert record.end_ts == 2.0
+    assert record.client == CLIENT
+    assert record.server == SERVER
+    assert record.request_class == "query"
+
+
+def test_consecutive_interactions_emitted_online():
+    """The next request's first packet closes the previous response."""
+    emitted = []
+    tracker = make_tracker(emitted)
+    for index in range(3):
+        base = float(index)
+        tracker.on_packet(CLIENT, SERVER, base + 0.0, 100)
+        tracker.on_packet(SERVER, CLIENT, base + 0.5, 200)
+    # Two interactions complete online (the third response is still open).
+    assert len(emitted) == 2
+    tracker.flush()
+    assert len(emitted) == 3
+
+
+def test_message_without_reply_is_unpaired():
+    emitted = []
+    tracker = make_tracker(emitted)
+    tracker.on_packet(CLIENT, SERVER, 1.0, 100)
+    tracker.flush()
+    assert emitted == []
+    assert tracker.unpaired_messages == 1
+
+
+def test_first_rx_and_deliver_timestamps():
+    emitted = []
+    tracker = make_tracker(emitted)
+    tracker.note_rx_start(CLIENT, SERVER, 0.9)
+    tracker.on_packet(CLIENT, SERVER, 1.0, 100)
+    tracker.on_deliver(CLIENT, SERVER, 1.5)
+    tracker.on_packet(SERVER, CLIENT, 2.0, 50)
+    tracker.flush()
+    record = emitted[0]
+    assert record.request.first_rx_ts == 0.9
+    assert record.request.deliver_ts == 1.5
+
+
+def test_deliver_matches_fifo_across_interactions():
+    emitted = []
+    tracker = make_tracker(emitted)
+    tracker.on_packet(CLIENT, SERVER, 1.0, 100)
+    tracker.on_deliver(CLIENT, SERVER, 1.2)
+    tracker.on_packet(SERVER, CLIENT, 1.5, 50)
+    tracker.on_packet(CLIENT, SERVER, 2.0, 100)
+    tracker.on_deliver(CLIENT, SERVER, 2.2)
+    tracker.on_packet(SERVER, CLIENT, 2.5, 50)
+    tracker.flush()
+    assert [record.request.deliver_ts for record in emitted] == [1.2, 2.2]
+
+
+def test_sampler_called_only_on_message_open():
+    emitted = []
+    tracker = make_tracker(emitted)
+    calls = []
+    sampler = lambda: calls.append(1) or {"utime": 0}  # noqa: E731
+    tracker.on_packet(SERVER, CLIENT, 1.0, 100, sampler=sampler)
+    tracker.on_packet(SERVER, CLIENT, 1.1, 100, sampler=sampler)
+    assert len(calls) == 1
+
+
+def test_flows_are_independent():
+    emitted = []
+    tracker = make_tracker(emitted)
+    other_client = ("10.0.0.3", 6000)
+    tracker.on_packet(CLIENT, SERVER, 1.0, 100)
+    tracker.on_packet(other_client, SERVER, 1.1, 100)
+    tracker.on_packet(SERVER, CLIENT, 2.0, 50)
+    tracker.on_packet(SERVER, other_client, 2.1, 50)
+    tracker.flush()
+    assert len(emitted) == 2
+    clients = sorted(record.client for record in emitted)
+    assert clients == sorted([CLIENT, other_client])
+
+
+def test_expire_idle_flushes_and_forgets():
+    emitted = []
+    tracker = make_tracker(emitted)
+    tracker.idle_timeout = 1.0
+    tracker.on_packet(CLIENT, SERVER, 1.0, 100)
+    tracker.on_packet(SERVER, CLIENT, 1.5, 50)
+    expired = tracker.expire_idle(10.0)
+    assert expired == 1
+    assert len(emitted) == 1
+    assert tracker.flows == {}
+
+
+def test_total_latency_and_kernel_time_properties():
+    emitted = []
+    tracker = make_tracker(emitted)
+    tracker.on_packet(CLIENT, SERVER, 1.0, 100)
+    tracker.on_packet(SERVER, CLIENT, 3.5, 50)
+    tracker.flush()
+    record = emitted[0]
+    assert record.total_latency == pytest.approx(2.5)
+    record.kernel_wait, record.kernel_cpu = 0.5, 0.25
+    assert record.kernel_time == pytest.approx(0.75)
+    payload = record.as_dict()
+    assert payload["client_ip"] == CLIENT[0]
+    assert payload["total_latency"] == pytest.approx(2.5)
+
+
+@given(st.lists(st.booleans(), min_size=1, max_size=60))
+def test_message_count_equals_direction_flips(directions):
+    """Property: closed messages == direction runs (paper's definition).
+
+    The current (last) run stays open until flush; interactions are
+    floor(messages / 2) consecutive pairs.
+    """
+    emitted = []
+    tracker = InteractionTracker("server", LOCAL_IP, emitted.append)
+    ts = 0.0
+    for inbound in directions:
+        src, dst = (CLIENT, SERVER) if inbound else (SERVER, CLIENT)
+        tracker.on_packet(src, dst, ts, 100)
+        ts += 0.1
+    tracker.flush()
+    runs = 1 + sum(
+        1 for a, b in zip(directions, directions[1:]) if a != b
+    )
+    assert tracker.messages_closed == runs
+    assert len(emitted) == runs // 2

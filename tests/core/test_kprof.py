@@ -1,0 +1,139 @@
+"""Kprof: subscriptions, costs, predicates, masking."""
+
+import pytest
+
+from repro.cluster import Cluster, NodeClock
+from repro.core.kprof import (
+    Kprof,
+    all_of,
+    exclude_port_range,
+    field_predicate,
+    pid_predicate,
+)
+from repro.ossim import tracepoints as tp
+
+
+@pytest.fixture
+def node():
+    return Cluster(seed=10).add_node("n1", clock=NodeClock(offset=2.0))
+
+
+@pytest.fixture
+def kprof(node):
+    return Kprof(node.kernel).attach()
+
+
+def test_attach_installs_tracepoints(node, kprof):
+    assert node.kernel.tracepoints is kprof
+    kprof.detach()
+    assert node.kernel.tracepoints is not kprof
+
+
+def test_disabled_event_costs_nothing(kprof):
+    assert not kprof.enabled(tp.SYSCALL_ENTRY)
+    assert kprof.cost(tp.SYSCALL_ENTRY) == kprof.costs.probe_disabled
+
+
+def test_subscription_enables_and_costs(kprof):
+    kprof.subscribe([tp.SYSCALL_ENTRY], lambda e: None, cost=1e-6)
+    assert kprof.enabled(tp.SYSCALL_ENTRY)
+    assert kprof.cost(tp.SYSCALL_ENTRY) == pytest.approx(
+        kprof.costs.probe_fire + 1e-6
+    )
+
+
+def test_cost_sums_multiple_subscribers(kprof):
+    kprof.subscribe([tp.SYSCALL_ENTRY], lambda e: None, cost=1e-6)
+    kprof.subscribe([tp.SYSCALL_ENTRY], lambda e: None, cost=2e-6)
+    assert kprof.cost(tp.SYSCALL_ENTRY) == pytest.approx(
+        kprof.costs.probe_fire + 3e-6
+    )
+
+
+def test_fire_delivers_event_with_local_timestamp(node, kprof):
+    events = []
+    kprof.subscribe([tp.SYSCALL_ENTRY], events.append)
+    node.sim.run(until=1.0)
+    kprof.fire(tp.SYSCALL_ENTRY, pid=7, call="read")
+    assert len(events) == 1
+    event = events[0]
+    assert event.etype == tp.SYSCALL_ENTRY
+    assert event.node == "n1"
+    assert event["pid"] == 7
+    assert event.ts == pytest.approx(3.0)  # sim 1.0 + offset 2.0
+
+
+def test_fire_with_explicit_sim_ts(node, kprof):
+    events = []
+    kprof.subscribe([tp.NET_RX_DRIVER], events.append)
+    kprof.fire(tp.NET_RX_DRIVER, sim_ts=5.0)
+    assert events[0].ts == pytest.approx(7.0)
+
+
+def test_unsubscribe_disables(kprof):
+    sub = kprof.subscribe([tp.SYSCALL_ENTRY], lambda e: None)
+    kprof.unsubscribe(sub)
+    assert not kprof.enabled(tp.SYSCALL_ENTRY)
+
+
+def test_event_class_expansion(kprof):
+    kprof.subscribe(["network"], lambda e: None)
+    for etype in tp.NETWORK_EVENTS:
+        assert kprof.enabled(etype)
+    assert not kprof.enabled(tp.FS_READ)
+
+
+def test_mask_overrides_subscription(kprof):
+    events = []
+    kprof.subscribe([tp.SYSCALL_ENTRY], events.append)
+    kprof.mask([tp.SYSCALL_ENTRY])
+    assert not kprof.enabled(tp.SYSCALL_ENTRY)
+    assert kprof.cost(tp.SYSCALL_ENTRY) == kprof.costs.probe_disabled
+    kprof.fire(tp.SYSCALL_ENTRY, pid=1)
+    assert events == []
+    kprof.unmask([tp.SYSCALL_ENTRY])
+    kprof.fire(tp.SYSCALL_ENTRY, pid=1)
+    assert len(events) == 1
+
+
+def test_predicate_suppresses_delivery(kprof):
+    events = []
+    kprof.subscribe(
+        [tp.SYSCALL_ENTRY], events.append, predicate=pid_predicate([42])
+    )
+    kprof.fire(tp.SYSCALL_ENTRY, pid=41)
+    kprof.fire(tp.SYSCALL_ENTRY, pid=42)
+    assert [event["pid"] for event in events] == [42]
+    assert kprof.events_suppressed == 1
+
+
+def test_exclude_port_range_predicate():
+    keep = exclude_port_range(9100, 9199)
+
+    class FakeEvent(dict):
+        def get(self, *args):
+            return dict.get(self, *args)
+
+    assert keep(FakeEvent(src_port=80, dst_port=443))
+    assert not keep(FakeEvent(src_port=9150, dst_port=80))
+    assert not keep(FakeEvent(src_port=80, dst_port=9100))
+
+
+def test_field_predicate_and_conjunction(kprof):
+    events = []
+    predicate = all_of(
+        field_predicate("call", ["read"]), pid_predicate([1, 2])
+    )
+    kprof.subscribe([tp.SYSCALL_ENTRY], events.append, predicate=predicate)
+    kprof.fire(tp.SYSCALL_ENTRY, pid=1, call="read")
+    kprof.fire(tp.SYSCALL_ENTRY, pid=1, call="write")
+    kprof.fire(tp.SYSCALL_ENTRY, pid=3, call="read")
+    assert len(events) == 1
+
+
+def test_stats_shape(kprof):
+    kprof.subscribe([tp.SYSCALL_ENTRY], lambda e: None)
+    kprof.fire(tp.SYSCALL_ENTRY, pid=1)
+    stats = kprof.stats()
+    assert stats["fired"] == {tp.SYSCALL_ENTRY: 1}
+    assert tp.SYSCALL_ENTRY in stats["subscribed_types"]

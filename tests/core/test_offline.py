@@ -1,0 +1,90 @@
+"""Raw event capture + offline replay."""
+
+import pytest
+
+from repro.core.offline import EventLog, replay_interactions
+from repro.ossim import tracepoints as tp
+from tests.core.helpers import build_monitored_pair, drive_traffic
+
+
+def _captured_pair(count=8):
+    cluster, sysprof = build_monitored_pair()
+    log = EventLog(
+        sysprof.kprof("server"),
+        etypes=[tp.NET_RX_DRIVER, tp.NET_TX_DRIVER, tp.SOCK_ENQUEUE,
+                tp.SOCK_DELIVER],
+    ).start()
+    drive_traffic(cluster, sysprof, count=count)
+    return cluster, sysprof, log
+
+
+def test_event_log_records_raw_events():
+    cluster, sysprof, log = _captured_pair()
+    assert log.recorded > 20
+    assert len(log) == log.recorded
+    etypes = {event.etype for event in log.events}
+    assert tp.SOCK_ENQUEUE in etypes and tp.NET_TX_DRIVER in etypes
+
+
+def test_event_log_capacity_bounds_memory():
+    cluster, sysprof = build_monitored_pair()
+    log = EventLog(sysprof.kprof("server"), capacity=10).start()
+    drive_traffic(cluster, sysprof, count=5)
+    assert len(log) == 10
+    assert log.recorded > 10
+
+
+def test_event_log_stop_halts_recording():
+    cluster, sysprof, log = _captured_pair(count=4)
+    recorded = log.recorded
+    log.stop()
+    from tests.core.helpers import request_client
+
+    cluster.node("client").spawn("cli2", request_client, "server", 8080, 3)
+    cluster.run(until=cluster.sim.now + 2.0)
+    assert log.recorded == recorded
+
+
+def test_offline_replay_matches_online_extraction():
+    """The offline replay reproduces the online LPA's interaction set."""
+    cluster, sysprof, log = _captured_pair(count=8)
+    online = sysprof.lpa("server").window_snapshot()
+    replayed = replay_interactions(
+        log.events, "server", cluster.node("server").ip
+    )
+    assert len(replayed) == len(online) == 8
+    for online_record, offline_record in zip(online, replayed):
+        assert offline_record.request.bytes == online_record["req_bytes"]
+        assert offline_record.response.bytes == online_record["resp_bytes"]
+        assert offline_record.start_ts == pytest.approx(
+            online_record["start_ts"], abs=1e-9
+        )
+        assert offline_record.kernel_wait == pytest.approx(
+            online_record["kernel_wait"], abs=1e-9
+        )
+
+
+def test_save_and_load_roundtrip(tmp_path):
+    cluster, sysprof, log = _captured_pair(count=4)
+    path = log.save(str(tmp_path / "events.jsonl"))
+    loaded = EventLog.load(path)
+    assert len(loaded) == len(log)
+    assert loaded[0].etype == log.events[0].etype
+    assert loaded[0].fields == log.events[0].fields
+    # Replay from disk gives the same interactions.
+    replayed = replay_interactions(loaded, "server", cluster.node("server").ip)
+    assert len(replayed) == 4
+
+
+def test_raw_capture_costs_more_than_lpa():
+    """Shipping raw events is the expensive path the paper avoids —
+    recording every event costs CPU at the probe site."""
+    cluster_a, sysprof_a = build_monitored_pair(seed=91)
+    drive_traffic(cluster_a, sysprof_a, count=10)
+    lean = cluster_a.node("server").kernel.cpu.busy_time
+
+    cluster_b, sysprof_b = build_monitored_pair(seed=91)
+    EventLog(sysprof_b.kprof("server"), cost=0.3e-6).start()
+    drive_traffic(cluster_b, sysprof_b, count=10)
+    heavy = cluster_b.node("server").kernel.cpu.busy_time
+    assert heavy > lean

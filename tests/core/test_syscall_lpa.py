@@ -1,0 +1,78 @@
+"""Per-syscall activity tracking (the paper's finest activity granularity)."""
+
+import pytest
+
+from repro.core import SysProfConfig
+from tests.core.helpers import build_monitored_pair, drive_traffic
+
+
+def _pair(eviction=0.05):
+    return build_monitored_pair(
+        config=SysProfConfig(eviction_interval=eviction, syscall_stats=True)
+    )
+
+
+def _run_without_flush(cluster, count=5):
+    """Drive traffic but keep the live window intact (no eviction)."""
+    from tests.core.helpers import echo_server, request_client
+
+    cluster.node("server").spawn("srv", echo_server)
+    cluster.node("client").spawn("cli", request_client, "server", 8080, count)
+    cluster.run(until=3.0)
+
+
+def test_syscalls_paired_and_counted():
+    # Long eviction interval: the live window survives until we read it.
+    cluster, sysprof = _pair(eviction=30.0)
+    _run_without_flush(cluster, count=5)
+    lpa = sysprof.monitor("server").syscall_lpa
+    snapshot = lpa.snapshot()
+    # The echo server performs listen/accept/recv/send syscalls.
+    assert snapshot["recv"]["count"] >= 5
+    assert snapshot["send"]["count"] >= 5
+    assert "listen" in snapshot and "accept" in snapshot
+    assert lpa.unmatched_exits == 0
+
+
+def test_blocking_syscalls_show_their_residency():
+    cluster, sysprof = _pair(eviction=30.0)
+    _run_without_flush(cluster, count=5)
+    snapshot = sysprof.monitor("server").syscall_lpa.snapshot()
+    # recv blocks waiting for requests (client thinks 10 ms between them);
+    # send of a 3 KB reply completes in microseconds.
+    assert snapshot["recv"]["mean"] > snapshot["send"]["mean"]
+    assert snapshot["recv"]["max"] >= snapshot["recv"]["mean"]
+
+
+def test_summaries_reach_gpa():
+    cluster, sysprof = _pair()
+    drive_traffic(cluster, sysprof, count=5)
+    summaries = list(sysprof.gpa.syscall_summaries)
+    assert summaries
+    calls = {record["call"] for record in summaries}
+    assert "recv" in calls and "send" in calls
+    for record in summaries:
+        assert record["count"] >= 1
+        assert record["mean_latency"] >= 0
+        assert record["window_end"] >= record["window_start"]
+
+
+def test_window_resets_after_eviction():
+    cluster, sysprof = _pair()
+    drive_traffic(cluster, sysprof, count=5)
+    lpa = sysprof.monitor("server").syscall_lpa
+    lpa.evict()
+    assert lpa.snapshot() == {}
+
+
+def test_disabled_by_default():
+    cluster, sysprof = build_monitored_pair()
+    assert sysprof.monitor("server").syscall_lpa is None
+
+
+def test_stats_shape():
+    cluster, sysprof = _pair()
+    drive_traffic(cluster, sysprof, count=2)
+    stats = sysprof.monitor("server").syscall_lpa.stats()
+    assert "unmatched_exits" in stats
+    assert stats["buffer"]["appended"] >= 1

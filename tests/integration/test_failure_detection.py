@@ -1,0 +1,53 @@
+"""Failure detection from telemetry staleness at the GPA."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import SysProf, SysProfConfig
+from tests.core.helpers import echo_server, request_client
+
+
+def _two_servers():
+    cluster = Cluster(seed=83)
+    cluster.add_node("client")
+    cluster.add_node("server1")
+    cluster.add_node("server2")
+    cluster.add_node("mgmt")
+    sysprof = SysProf(cluster, SysProfConfig(eviction_interval=0.1))
+    sysprof.install(monitored=["server1", "server2"], gpa_node="mgmt")
+    sysprof.start()
+    for name in ("server1", "server2"):
+        cluster.node(name).spawn("srv", echo_server)
+    for name in ("server1", "server2"):
+        cluster.node("client").spawn(
+            "cli-{}".format(name), request_client, name, 8080, 30, 4000, 0.05
+        )
+    return cluster, sysprof
+
+
+def test_healthy_nodes_not_suspected():
+    cluster, sysprof = _two_servers()
+    cluster.run(until=2.0)
+    suspects = sysprof.gpa.stale_nodes(now_ref=cluster.sim.now, threshold=0.5)
+    assert suspects == {}
+
+
+def test_dead_daemon_is_suspected():
+    cluster, sysprof = _two_servers()
+    cluster.run(until=1.0)
+    # server1's dissemination daemon dies (wedged node).
+    daemon_task = sysprof.monitor("server1").daemon.task
+    daemon_task.kill("node-wedged")
+    cluster.run(until=3.0)
+    suspects = sysprof.gpa.stale_nodes(now_ref=cluster.sim.now, threshold=0.5)
+    assert "server1" in suspects
+    assert "server2" not in suspects
+    assert suspects["server1"] > 0.5
+
+
+def test_kprof_procfs_export():
+    cluster, sysprof = _two_servers()
+    cluster.run(until=1.0)
+    text = cluster.node("server1").kernel.procfs.read("/proc/sysprof/kprof")
+    assert "kprof node=server1" in text
+    assert "fired sock.enqueue=" in text

@@ -1,0 +1,52 @@
+"""Addresses, flow keys, packet framing."""
+
+from repro.netsim import Address, FlowKey, Packet
+
+
+def test_address_fields():
+    addr = Address("10.0.0.1", 80)
+    assert addr.ip == "10.0.0.1"
+    assert addr.port == 80
+    assert repr(addr) == "10.0.0.1:80"
+
+
+def test_address_equality_and_hash():
+    assert Address("10.0.0.1", 80) == Address("10.0.0.1", 80)
+    assert len({Address("10.0.0.1", 80), Address("10.0.0.1", 80)}) == 1
+
+
+def test_flow_key_direction_independent():
+    a = Address("10.0.0.1", 1234)
+    b = Address("10.0.0.2", 80)
+    assert FlowKey(a, b) == FlowKey(b, a)
+    assert hash(FlowKey(a, b)) == hash(FlowKey(b, a))
+
+
+def test_flow_key_endpoints_sorted():
+    a = Address("10.0.0.9", 1)
+    b = Address("10.0.0.1", 9)
+    key = FlowKey(a, b)
+    assert key.low == b
+    assert key.high == a
+
+
+def test_packet_wire_size_includes_headers():
+    a, b = Address("10.0.0.1", 1), Address("10.0.0.2", 2)
+    packet = Packet(a, b, 1000)
+    assert packet.wire_size == 1000 + Packet.HEADER_BYTES
+
+
+def test_aggregated_packet_header_per_frame():
+    a, b = Address("10.0.0.1", 1), Address("10.0.0.2", 2)
+    packet = Packet(a, b, 4000, frames=4)
+    assert packet.wire_size == 4000 + 4 * Packet.HEADER_BYTES
+
+
+def test_packet_ids_unique():
+    a, b = Address("10.0.0.1", 1), Address("10.0.0.2", 2)
+    assert Packet(a, b, 1).packet_id != Packet(a, b, 1).packet_id
+
+
+def test_packet_flow_key():
+    a, b = Address("10.0.0.1", 5), Address("10.0.0.2", 6)
+    assert Packet(a, b, 1).flow_key == Packet(b, a, 1).flow_key

@@ -1,0 +1,149 @@
+"""CPU scheduling: accounting, round-robin, priority preemption."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.ossim.task import BAND_IRQ, BAND_KERNEL, BAND_USER
+
+
+@pytest.fixture
+def node():
+    cluster = Cluster(seed=1)
+    return cluster.add_node("n1")
+
+
+def test_single_compute_takes_exact_time(node):
+    def worker(ctx):
+        yield from ctx.compute(0.5)
+        return ctx.now
+
+    task = node.spawn("w", worker)
+    node.sim.run()
+    assert task.exit_value == pytest.approx(0.5, abs=1e-4)
+    assert task.utime == pytest.approx(0.5)
+    assert task.stime == 0.0
+
+
+def test_kcompute_accounts_system_time(node):
+    def worker(ctx):
+        yield from ctx.kcompute(0.2)
+
+    task = node.spawn("w", worker)
+    node.sim.run()
+    assert task.stime == pytest.approx(0.2)
+    assert task.utime == 0.0
+
+
+def test_two_tasks_share_cpu_round_robin(node):
+    def worker(ctx):
+        yield from ctx.compute(0.1)
+        return ctx.now
+
+    a = node.spawn("a", worker)
+    b = node.spawn("b", worker)
+    node.sim.run()
+    # Both need 0.1s; sharing one CPU means both finish around 0.2s.
+    assert a.exit_value == pytest.approx(0.2, rel=0.2)
+    assert b.exit_value == pytest.approx(0.2, rel=0.2)
+    assert abs(a.exit_value - b.exit_value) < 0.02
+
+
+def test_round_robin_is_fair_for_many_tasks(node):
+    finish = {}
+
+    def worker(ctx, name):
+        yield from ctx.compute(0.05)
+        finish[name] = ctx.now
+
+    for index in range(5):
+        node.spawn("w{}".format(index), worker, index)
+    node.sim.run()
+    times = sorted(finish.values())
+    assert times[-1] == pytest.approx(0.25, rel=0.1)
+    # With a 10ms quantum nobody finishes before ~the fair-share point.
+    assert times[0] > 0.2
+
+
+def test_kernel_band_preempts_user(node):
+    trace = []
+
+    def user(ctx):
+        yield from ctx.compute(0.1)
+        trace.append(("user-done", ctx.now))
+
+    def daemon(ctx):
+        yield from ctx.sleep(0.02)
+        yield from ctx.kcompute(0.05)
+        trace.append(("daemon-done", ctx.now))
+
+    node.spawn("user", user, band=BAND_USER)
+    node.spawn("daemon", daemon, band=BAND_KERNEL)
+    node.sim.run()
+    order = [name for name, _ in trace]
+    assert order == ["daemon-done", "user-done"]
+    daemon_done = dict(trace)["daemon-done"]
+    assert daemon_done == pytest.approx(0.07, abs=0.02)
+
+
+def test_irq_work_preempts_everything(node):
+    def user(ctx):
+        yield from ctx.compute(0.1)
+        return ctx.now
+
+    task = node.spawn("user", user)
+    node.sim.run(until=0.01)
+    done = node.kernel.cpu.submit(None, 0.005, "kernel", band=BAND_IRQ)
+    node.sim.run_until_triggered(done)
+    start, end = done.value
+    assert end - start == pytest.approx(0.005, abs=1e-6)
+    node.sim.run()
+    # The user task lost the CPU while the irq ran.
+    assert task.exit_value == pytest.approx(0.105, abs=6e-3)
+
+
+def test_context_switch_cost_charged(node):
+    def worker(ctx):
+        yield from ctx.compute(0.05)
+
+    node.spawn("a", worker)
+    node.spawn("b", worker)
+    node.sim.run()
+    cpu = node.kernel.cpu
+    assert cpu.ctx_switch_count >= 2
+    assert cpu.mode_time["ctx"] > 0
+    assert cpu.mode_time["ctx"] == pytest.approx(
+        cpu.ctx_switch_count * node.costs.context_switch, rel=0.01
+    )
+
+
+def test_cpu_busy_time_tracks_total_work(node):
+    def worker(ctx):
+        yield from ctx.compute(0.3)
+
+    node.spawn("w", worker)
+    node.sim.run()
+    cpu = node.kernel.cpu
+    assert cpu.busy_time == pytest.approx(0.3 + cpu.mode_time["ctx"])
+    assert cpu.utilization(node.sim.now) <= 1.0
+
+
+def test_zero_cost_submit_completes_immediately(node):
+    done = node.kernel.cpu.submit(None, 0.0, "kernel", band=BAND_IRQ)
+    assert done.triggered
+
+
+def test_negative_demand_rejected(node):
+    with pytest.raises(ValueError):
+        node.kernel.cpu.submit(None, -1.0)
+
+
+def test_run_queue_length(node):
+    def worker(ctx):
+        yield from ctx.compute(0.1)
+
+    node.spawn("a", worker)
+    node.spawn("b", worker)
+    node.sim.run(until=0.05)
+    assert node.kernel.cpu.run_queue_length >= 1
+    node.sim.run()
+    assert node.kernel.cpu.run_queue_length == 0

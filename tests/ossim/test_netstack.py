@@ -1,0 +1,142 @@
+"""Network stack: segmentation, tracepoint events, per-layer timestamps."""
+
+import math
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import Kprof
+from repro.ossim import tracepoints as tp
+
+
+@pytest.fixture
+def wired():
+    cluster = Cluster(seed=4)
+    a = cluster.add_node("a")
+    b = cluster.add_node("b")
+    return cluster, a, b
+
+
+def _transfer(cluster, a, b, size, frame_batch=1):
+    def server(ctx):
+        lsock = yield from ctx.listen(9000)
+        sock = yield from ctx.accept(lsock)
+        message = yield from ctx.recv_message(sock)
+        return message
+
+    def client(ctx):
+        sock = yield from ctx.connect("b", 9000)
+        yield from ctx.send_message(sock, size, frame_batch=frame_batch)
+
+    server_task = b.spawn("srv", server)
+    a.spawn("cli", client)
+    cluster.run(until=10.0)
+    return server_task.exit_value
+
+
+def test_segmentation_packet_count(wired):
+    cluster, a, b = wired
+    events = []
+    kprof = Kprof(b.kernel).attach()
+    kprof.subscribe([tp.SOCK_ENQUEUE], events.append, cost=0.0)
+    size = 10_000
+    _transfer(cluster, a, b, size)
+    expected = math.ceil(size / cluster.costs.mtu)
+    assert len(events) == expected
+    assert sum(event["size"] for event in events) == size
+    assert events[-1]["is_last"] and not events[0]["is_last"]
+
+
+def test_frame_batching_reduces_packets_not_bytes(wired):
+    cluster, a, b = wired
+    events = []
+    kprof = Kprof(b.kernel).attach()
+    kprof.subscribe([tp.SOCK_ENQUEUE], events.append, cost=0.0)
+    _transfer(cluster, a, b, 20_000, frame_batch=4)
+    assert len(events) == math.ceil(20_000 / (4 * cluster.costs.mtu))
+    assert sum(event["frames"] for event in events) == math.ceil(
+        20_000 / cluster.costs.mtu
+    )
+
+
+def test_rx_layer_timestamps_ordered(wired):
+    cluster, a, b = wired
+    events = []
+    kprof = Kprof(b.kernel).attach()
+    kprof.subscribe(
+        [tp.NET_RX_DRIVER, tp.NET_RX_IP, tp.NET_RX_TRANSPORT, tp.SOCK_ENQUEUE],
+        events.append, cost=0.0,
+    )
+    _transfer(cluster, a, b, 1000)
+    by_type = {event.etype: event.ts for event in events}
+    assert (
+        by_type[tp.NET_RX_DRIVER]
+        < by_type[tp.NET_RX_IP]
+        < by_type[tp.NET_RX_TRANSPORT]
+        <= by_type[tp.SOCK_ENQUEUE]
+    )
+
+
+def test_tx_layer_timestamps_ordered(wired):
+    cluster, a, b = wired
+    events = []
+    kprof = Kprof(a.kernel).attach()
+    kprof.subscribe(
+        [tp.NET_TX_SOCK, tp.NET_TX_IP, tp.NET_TX_DRIVER], events.append, cost=0.0
+    )
+    _transfer(cluster, a, b, 1000)
+    by_type = {event.etype: event.ts for event in events}
+    assert by_type[tp.NET_TX_SOCK] < by_type[tp.NET_TX_IP] < by_type[tp.NET_TX_DRIVER]
+
+
+def test_rx_events_carry_flow_fields(wired):
+    cluster, a, b = wired
+    events = []
+    kprof = Kprof(b.kernel).attach()
+    kprof.subscribe([tp.SOCK_ENQUEUE], events.append, cost=0.0)
+    _transfer(cluster, a, b, 500)
+    event = events[0]
+    assert event["dst_ip"] == b.ip
+    assert event["src_ip"] == a.ip
+    assert event["dst_port"] == 9000
+    assert event["msg_kind"] == "data"
+    assert event["rx_queue_depth"] == 0
+
+
+def test_sock_deliver_fired_on_recv(wired):
+    cluster, a, b = wired
+    events = []
+    kprof = Kprof(b.kernel).attach()
+    kprof.subscribe([tp.SOCK_DELIVER], events.append, cost=0.0)
+    message = _transfer(cluster, a, b, 500)
+    assert len(events) == 1
+    assert events[0]["size"] == 500
+    assert events[0]["pid"] >= 100
+
+
+def test_no_subscriber_means_no_events(wired):
+    cluster, a, b = wired
+    kprof = Kprof(b.kernel).attach()
+    _transfer(cluster, a, b, 500)
+    assert kprof.events_fired == {}
+
+
+def test_monitoring_adds_kernel_time(wired):
+    """Enabled probes must consume simulated CPU on the receive path."""
+    cluster, a, b = wired
+    kprof = Kprof(b.kernel).attach()
+    kprof.subscribe(
+        [tp.NET_RX_DRIVER, tp.NET_RX_IP, tp.NET_RX_TRANSPORT, tp.SOCK_ENQUEUE],
+        lambda event: None,
+    )
+    before = b.kernel.cpu.mode_time["kernel"]
+    _transfer(cluster, a, b, 100_000)
+    monitored_kernel = b.kernel.cpu.mode_time["kernel"] - before
+
+    cluster2 = Cluster(seed=4)
+    a2 = cluster2.add_node("a")
+    b2 = cluster2.add_node("b")
+    before2 = b2.kernel.cpu.mode_time["kernel"]
+    _transfer(cluster2, a2, b2, 100_000)
+    baseline_kernel = b2.kernel.cpu.mode_time["kernel"] - before2
+    assert monitored_kernel > baseline_kernel

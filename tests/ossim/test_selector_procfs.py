@@ -1,0 +1,119 @@
+"""Selector multiplexing and the /proc registry."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.ossim.procfs import ProcFs
+from repro.ossim.selector import Selector
+
+
+@pytest.fixture
+def trio():
+    cluster = Cluster(seed=8)
+    return cluster, cluster.add_node("srv"), [
+        cluster.add_node("c1"), cluster.add_node("c2")
+    ]
+
+
+def test_selector_multiplexes_two_clients(trio):
+    cluster, server_node, clients = trio
+    received = []
+
+    def server(ctx):
+        lsock = yield from ctx.listen(7000)
+        selector = Selector(ctx)
+        selector.add_listener("accept", lsock)
+        done = 0
+        while done < 2:
+            key, item = yield from selector.select()
+            if key == "accept":
+                selector.add_socket(("conn", item.remote), item)
+            elif item is None:
+                selector.remove(key)
+                done += 1
+            else:
+                received.append((item.meta["who"], item.size))
+
+    def client(ctx, who):
+        sock = yield from ctx.connect("srv", 7000)
+        for index in range(3):
+            yield from ctx.send_message(sock, 1000, meta={"who": who})
+            yield from ctx.sleep(0.01)
+        yield from ctx.close(sock)
+
+    task = server_node.spawn("srv", server)
+    for index, node in enumerate(clients):
+        node.spawn("cli", client, "c{}".format(index + 1))
+    cluster.run(until=5.0)
+    assert task.proc.triggered
+    assert sorted(who for who, _ in received) == ["c1", "c1", "c1", "c2", "c2", "c2"]
+
+
+def test_selector_round_robin_fairness(trio):
+    cluster, server_node, clients = trio
+    order = []
+
+    def server(ctx):
+        lsock = yield from ctx.listen(7000)
+        selector = Selector(ctx)
+        selector.add_listener("accept", lsock)
+        while len(order) < 6:
+            key, item = yield from selector.select()
+            if key == "accept":
+                selector.add_socket(item.remote, item)
+            elif item is not None:
+                order.append(item.meta["who"])
+                # Busy server: both clients' next messages arrive meanwhile.
+                yield from ctx.compute(0.05)
+
+    def client(ctx, who):
+        sock = yield from ctx.connect("srv", 7000)
+        for _ in range(3):
+            yield from ctx.send_message(sock, 100, meta={"who": who})
+            yield from ctx.sleep(0.001)
+
+    server_node.spawn("srv", server)
+    for index, node in enumerate(clients):
+        node.spawn("cli", client, "c{}".format(index + 1))
+    cluster.run(until=5.0)
+    # Round-robin alternates once both have pending messages.
+    assert order.count("c1") == 3 and order.count("c2") == 3
+    assert order[2:] not in (["c1", "c1", "c2", "c2"],)
+
+
+def test_selector_empty_rejected(trio):
+    cluster, server_node, _clients = trio
+
+    def server(ctx):
+        selector = Selector(ctx)
+        try:
+            yield from selector.select()
+        except ValueError:
+            return "rejected"
+
+    task = server_node.spawn("srv", server)
+    cluster.run()
+    assert task.exit_value == "rejected"
+
+
+def test_procfs_register_read_list():
+    procfs = ProcFs()
+    procfs.register("/proc/foo", lambda: "hello")
+    procfs.register("/proc/foo/bar", lambda: "nested")
+    assert procfs.read("/proc/foo") == "hello"
+    assert procfs.listdir("/proc/foo") == ["/proc/foo", "/proc/foo/bar"]
+    assert procfs.exists("/proc/foo")
+    procfs.unregister("/proc/foo")
+    assert not procfs.exists("/proc/foo")
+
+
+def test_procfs_rejects_bad_paths():
+    procfs = ProcFs()
+    with pytest.raises(ValueError):
+        procfs.register("/etc/passwd", lambda: "nope")
+
+
+def test_procfs_missing_path():
+    procfs = ProcFs()
+    with pytest.raises(FileNotFoundError):
+        procfs.read("/proc/nothing")

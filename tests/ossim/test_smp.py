@@ -1,0 +1,157 @@
+"""SMP nodes: parallel cores, affinity pinning, interrupt placement."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.ossim.cpu import CpuSet
+from repro.ossim.task import BAND_IRQ
+from repro.sim import SimError
+
+
+def _node(cpus):
+    return Cluster(seed=61).add_node("smp", cpus=cpus)
+
+
+def _burner(ctx, seconds=0.2):
+    yield from ctx.compute(seconds)
+    return ctx.now
+
+
+def test_two_cores_run_two_tasks_in_parallel():
+    node = _node(2)
+    a = node.spawn("a", _burner)
+    b = node.spawn("b", _burner)
+    node.sim.run()
+    # Each task gets its own core: both finish in ~0.2 s, not 0.4 s.
+    assert a.exit_value == pytest.approx(0.2, rel=0.05)
+    assert b.exit_value == pytest.approx(0.2, rel=0.05)
+
+
+def test_three_tasks_on_two_cores():
+    node = _node(2)
+    tasks = [node.spawn("t{}".format(i), _burner) for i in range(3)]
+    node.sim.run()
+    finish = sorted(task.exit_value for task in tasks)
+    # 0.6 s of demand over 2 cores: last finisher around 0.3 s.
+    assert finish[-1] == pytest.approx(0.3, rel=0.15)
+
+
+def test_affinity_pins_to_one_core():
+    node = _node(2)
+    a = node.spawn("a", _burner, affinity=1)
+    b = node.spawn("b", _burner, affinity=1)
+    node.sim.run()
+    # Sharing core 1: serialized to ~0.4 s; core 0 stays idle.
+    assert max(a.exit_value, b.exit_value) == pytest.approx(0.4, rel=0.1)
+    assert node.kernel.cpu.core(0).busy_time == 0.0
+    assert node.kernel.cpu.core(1).busy_time == pytest.approx(0.4, rel=0.05)
+
+
+def test_affinity_out_of_range_rejected():
+    node = _node(2)
+    with pytest.raises(SimError, match="affinity"):
+        node.spawn("bad", _burner, affinity=5)
+
+
+def test_irq_work_lands_on_core_zero():
+    node = _node(2)
+    done = node.kernel.cpu.submit(None, 0.01, "kernel", band=BAND_IRQ)
+    node.sim.run_until_triggered(done)
+    assert node.kernel.cpu.core(0).busy_time == pytest.approx(0.01)
+    assert node.kernel.cpu.core(1).busy_time == 0.0
+
+
+def test_aggregated_accounting():
+    node = _node(2)
+    node.spawn("a", _burner)
+    node.spawn("b", _burner)
+    node.sim.run()
+    cpu = node.kernel.cpu
+    assert cpu.busy_time == pytest.approx(0.4, rel=0.05)
+    assert cpu.mode_time["user"] == pytest.approx(0.4, rel=0.05)
+    assert cpu.utilization(node.sim.now) <= 1.0
+    assert len(cpu) == 2
+
+
+def test_cpuset_validates_count():
+    node = _node(1)
+    with pytest.raises(ValueError):
+        CpuSet(node.sim, node.kernel, node.costs, 0)
+
+
+def test_uniprocessor_default_unchanged():
+    node = _node(1)
+    assert node.kernel.cpu_count == 1
+    assert not isinstance(node.kernel.cpu, CpuSet)
+
+
+def test_networking_works_on_smp():
+    cluster = Cluster(seed=62)
+    a = cluster.add_node("a", cpus=2)
+    b = cluster.add_node("b", cpus=2)
+    got = []
+
+    def server(ctx):
+        lsock = yield from ctx.listen(7000)
+        sock = yield from ctx.accept(lsock)
+        message = yield from ctx.recv_message(sock)
+        got.append(message.size)
+
+    def client(ctx):
+        sock = yield from ctx.connect("b", 7000)
+        yield from ctx.send_message(sock, 5000)
+
+    b.spawn("srv", server)
+    a.spawn("cli", client)
+    cluster.run(until=2.0)
+    assert got == [5000]
+
+
+def test_dedicated_monitoring_core_keeps_workload_core_cleaner():
+    """Paper future-work: 'a core dedicated to the analysis'.  Pinning
+    sysprofd to core 1 moves dissemination work off the workload core."""
+    from repro.core import SysProf, SysProfConfig
+
+    daemon_busy = {}
+    for label, affinity in (("shared", None), ("dedicated", 1)):
+        cluster = Cluster(seed=63)
+        cluster.add_node("client")
+        cluster.add_node("server", cpus=2)
+        cluster.add_node("mgmt")
+        sysprof = SysProf(
+            cluster,
+            SysProfConfig(eviction_interval=0.02, buffer_capacity=8,
+                          daemon_affinity=affinity),
+        )
+        sysprof.install(monitored=["server"], gpa_node="mgmt")
+        sysprof.start()
+
+        def server(ctx):
+            lsock = yield from ctx.listen(8080)
+            sock = yield from ctx.accept(lsock)
+            while True:
+                message = yield from ctx.recv_message(sock)
+                if message is None:
+                    break
+                yield from ctx.send_message(sock, 500, kind="reply")
+
+        def client(ctx):
+            sock = yield from ctx.connect("server", 8080)
+            for _ in range(100):
+                yield from ctx.send_message(sock, 800, kind="query")
+                yield from ctx.recv_message(sock)
+            yield from ctx.close(sock)
+
+        # Pin the workload to core 0 so the comparison is clean.
+        cluster.node("server").spawn("srv", server, affinity=0)
+        cluster.node("client").spawn("cli", client)
+        cluster.run(until=5.0)
+        daemon_task = sysprof.monitor("server").daemon.task
+        core1 = cluster.node("server").kernel.cpu.core(1)
+        daemon_busy[label] = (daemon_task.cpu_time, core1.busy_time)
+
+    shared_core1 = daemon_busy["shared"][1]
+    dedicated_core1 = daemon_busy["dedicated"][1]
+    # With the pin, the daemon's CPU time shows up on core 1.
+    assert dedicated_core1 >= daemon_busy["dedicated"][0] * 0.9
+    assert dedicated_core1 > shared_core1

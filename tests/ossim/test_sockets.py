@@ -1,0 +1,237 @@
+"""Socket layer: connections, message transfer, flow control, EOF."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.ossim.sockets import ByteCredits
+from repro.sim import SimError
+
+
+@pytest.fixture
+def pair():
+    cluster = Cluster(seed=3)
+    return cluster, cluster.add_node("a"), cluster.add_node("b")
+
+
+def _echo_server(ctx, port, sizes_seen):
+    lsock = yield from ctx.listen(port)
+    sock = yield from ctx.accept(lsock)
+    while True:
+        message = yield from ctx.recv_message(sock)
+        if message is None:
+            break
+        sizes_seen.append(message.size)
+        yield from ctx.send_message(sock, message.size, kind="echo")
+    return "closed"
+
+
+def test_message_roundtrip(pair):
+    cluster, a, b = pair
+    seen = []
+    server = b.spawn("srv", _echo_server, 9000, seen)
+
+    def client(ctx):
+        sock = yield from ctx.connect("b", 9000)
+        yield from ctx.send_message(sock, 12345, kind="q")
+        reply = yield from ctx.recv_message(sock)
+        yield from ctx.close(sock)
+        return reply.size
+
+    task = a.spawn("cli", client)
+    cluster.run()
+    assert task.exit_value == 12345
+    assert seen == [12345]
+    assert server.exit_value == "closed"
+
+
+def test_connect_to_missing_port_fails(pair):
+    cluster, a, b = pair
+
+    def client(ctx):
+        yield from ctx.connect("b", 1234)
+
+    a.spawn("cli", client)
+    with pytest.raises(SimError, match="connection refused"):
+        cluster.run()
+
+
+def test_messages_preserve_order(pair):
+    cluster, a, b = pair
+    received = []
+
+    def server(ctx):
+        lsock = yield from ctx.listen(9000)
+        sock = yield from ctx.accept(lsock)
+        while True:
+            message = yield from ctx.recv_message(sock)
+            if message is None:
+                break
+            received.append(message.meta["n"])
+
+    def client(ctx):
+        sock = yield from ctx.connect("b", 9000)
+        for n in range(10):
+            yield from ctx.send_message(sock, 5000, meta={"n": n})
+        yield from ctx.close(sock)
+
+    b.spawn("srv", server)
+    a.spawn("cli", client)
+    cluster.run()
+    assert received == list(range(10))
+
+
+def test_zero_byte_message_delivered(pair):
+    cluster, a, b = pair
+    sizes = []
+    b.spawn("srv", _echo_server, 9000, sizes)
+
+    def client(ctx):
+        sock = yield from ctx.connect("b", 9000)
+        yield from ctx.send_message(sock, 0, kind="ping")
+        yield from ctx.recv_message(sock)
+        yield from ctx.close(sock)
+
+    a.spawn("cli", client)
+    cluster.run()
+    assert sizes == [0]
+
+
+def test_flow_control_blocks_sender(pair):
+    """Receiver never reads: sender must stall at the receive window."""
+    cluster, a, b = pair
+
+    def server(ctx):
+        lsock = yield from ctx.listen(9000)
+        sock = yield from ctx.accept(lsock)
+        yield from ctx.sleep(60.0)  # never read
+
+    sent = []
+
+    def client(ctx):
+        sock = yield from ctx.connect("b", 9000)
+        for n in range(8):
+            yield from ctx.send_message(sock, 100_000)
+            sent.append(ctx.now)
+
+    b.spawn("srv", server)
+    client_task = a.spawn("cli", client)
+    cluster.run(until=30.0)
+    window = cluster.costs.sock_buffer_bytes
+    # Only ~window/100k messages fit before the sender stalls.
+    assert len(sent) <= window // 100_000 + 1
+    assert client_task.is_alive
+    live_blocked = client_task.blocked_time + (
+        cluster.sim.now - client_task.blocked_since
+    )
+    assert live_blocked > 10.0
+    assert client_task.block_reason == "sndbuf"
+
+
+def test_reader_unblocks_stalled_sender(pair):
+    cluster, a, b = pair
+    received = []
+
+    def server(ctx):
+        lsock = yield from ctx.listen(9000)
+        sock = yield from ctx.accept(lsock)
+        yield from ctx.sleep(5.0)
+        while True:
+            message = yield from ctx.recv_message(sock)
+            if message is None:
+                break
+            received.append(message.size)
+
+    def client(ctx):
+        sock = yield from ctx.connect("b", 9000)
+        for _ in range(8):
+            yield from ctx.send_message(sock, 100_000)
+        yield from ctx.close(sock)
+
+    b.spawn("srv", server)
+    a.spawn("cli", client)
+    cluster.run(until=30.0)
+    assert received == [100_000] * 8
+
+
+def test_close_delivers_eof(pair):
+    cluster, a, b = pair
+    outcome = []
+
+    def server(ctx):
+        lsock = yield from ctx.listen(9000)
+        sock = yield from ctx.accept(lsock)
+        message = yield from ctx.recv_message(sock)
+        outcome.append(message)
+
+    def client(ctx):
+        sock = yield from ctx.connect("b", 9000)
+        yield from ctx.close(sock)
+
+    b.spawn("srv", server)
+    a.spawn("cli", client)
+    cluster.run()
+    assert outcome == [None]
+
+
+def test_accept_blocks_until_connection(pair):
+    cluster, a, b = pair
+    accepted_at = []
+
+    def server(ctx):
+        lsock = yield from ctx.listen(9000)
+        sock = yield from ctx.accept(lsock)
+        accepted_at.append(ctx.now)
+
+    def client(ctx):
+        yield from ctx.sleep(2.0)
+        yield from ctx.connect("b", 9000)
+
+    b.spawn("srv", server)
+    a.spawn("cli", client)
+    cluster.run()
+    assert accepted_at and accepted_at[0] >= 2.0
+
+
+def test_duplicate_listen_rejected(pair):
+    cluster, a, b = pair
+
+    def server(ctx):
+        yield from ctx.listen(9000)
+        yield from ctx.listen(9000)
+
+    b.spawn("srv", server)
+    with pytest.raises(SimError, match="already listening"):
+        cluster.run()
+
+
+def test_byte_credits_fifo_and_overflow(sim):
+    credits = ByteCredits(sim, 100)
+    first = credits.acquire(80)
+    second = credits.acquire(50)
+    assert first.triggered and not second.triggered
+    credits.release(40)
+    assert second.triggered
+    assert credits.in_flight == 90
+    with pytest.raises(SimError):
+        credits.acquire(101)
+    with pytest.raises(SimError):
+        credits.release(1000)
+
+
+def test_socket_stats_counters(pair):
+    cluster, a, b = pair
+    sizes = []
+    b.spawn("srv", _echo_server, 9000, sizes)
+    stats = {}
+
+    def client(ctx):
+        sock = yield from ctx.connect("b", 9000)
+        yield from ctx.send_message(sock, 5000)
+        yield from ctx.recv_message(sock)
+        stats["sent"] = sock.bytes_sent
+        stats["received"] = sock.bytes_received
+        yield from ctx.close(sock)
+
+    a.spawn("cli", client)
+    cluster.run()
+    assert stats == {"sent": 5000, "received": 5000}

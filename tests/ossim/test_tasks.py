@@ -1,0 +1,99 @@
+"""Task lifecycle, blocked-time accounting, /proc/stat."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.ossim.task import TASK_EXITED
+
+
+@pytest.fixture
+def node():
+    return Cluster(seed=2).add_node("n1")
+
+
+def test_sleep_accounts_blocked_time(node):
+    def worker(ctx):
+        yield from ctx.sleep(0.4)
+
+    task = node.spawn("sleeper", worker)
+    node.sim.run()
+    assert task.blocked_time == pytest.approx(0.4, abs=1e-6)
+    assert task.state == TASK_EXITED
+    assert task.exited_at == pytest.approx(0.4, abs=1e-6)
+
+
+def test_exit_value_preserved(node):
+    def worker(ctx):
+        yield from ctx.sleep(0.1)
+        return {"answer": 42}
+
+    task = node.spawn("w", worker)
+    node.sim.run()
+    assert task.exit_value == {"answer": 42}
+
+
+def test_pids_are_unique_and_registered(node):
+    def worker(ctx):
+        yield from ctx.sleep(0.01)
+
+    tasks = [node.spawn("w{}".format(i), worker) for i in range(4)]
+    pids = [task.pid for task in tasks]
+    assert len(set(pids)) == 4
+    assert all(node.kernel.tasks[pid] is task for pid, task in zip(pids, tasks))
+
+
+def test_spawn_nested_from_context(node):
+    seen = []
+
+    def child(ctx, tag):
+        yield from ctx.sleep(0.05)
+        seen.append(tag)
+
+    def parent(ctx):
+        inner = ctx.spawn("child", child, "hello")
+        yield from ctx.wait(inner.proc)
+
+    node.spawn("parent", parent)
+    node.sim.run()
+    assert seen == ["hello"]
+
+
+def test_labels_attached(node):
+    def worker(ctx):
+        yield from ctx.sleep(0.01)
+
+    task = node.spawn("w", worker, labels={"class": "gold"})
+    assert task.labels["class"] == "gold"
+
+
+def test_proc_stat_lists_tasks(node):
+    def worker(ctx):
+        yield from ctx.compute(0.02)
+        yield from ctx.sleep(10.0)
+
+    task = node.spawn("webserver", worker)
+    node.sim.run(until=1.0)
+    text = node.kernel.procfs.read("/proc/stat")
+    assert "webserver" in text
+    assert "utime=0.02" in text
+
+
+def test_task_snapshot_counts_live_blocked_time(node):
+    def worker(ctx):
+        yield from ctx.sleep(100.0)
+
+    task = node.spawn("w", worker)
+    node.sim.run(until=2.0)
+    snapshot = node.kernel.task_snapshot()
+    assert snapshot[task.pid]["blocked"] == pytest.approx(2.0, abs=0.01)
+    assert snapshot[task.pid]["state"] == "blocked"
+
+
+def test_task_crash_propagates(node):
+    def bad(ctx):
+        yield from ctx.sleep(0.01)
+        raise RuntimeError("task crashed")
+
+    node.spawn("bad", bad)
+    with pytest.raises(RuntimeError):
+        node.sim.run()

@@ -1,0 +1,123 @@
+"""Resource, Store, and Gate synchronization primitives."""
+
+import pytest
+
+from repro.sim import Gate, Resource, SimError, Store
+
+
+def test_resource_grants_up_to_capacity(sim):
+    resource = Resource(sim, capacity=2)
+    first = resource.acquire()
+    second = resource.acquire()
+    third = resource.acquire()
+    sim.run()
+    assert first.triggered and second.triggered
+    assert not third.triggered
+    assert resource.queue_length == 1
+
+
+def test_resource_release_grants_fifo(sim):
+    resource = Resource(sim, capacity=1)
+    resource.acquire()
+    order = []
+    for name in ("x", "y"):
+        resource.acquire().add_callback(lambda w, name=name: order.append(name))
+    resource.release()
+    resource.release()
+    sim.run()
+    assert order == ["x", "y"]
+
+
+def test_release_without_acquire_rejected(sim):
+    resource = Resource(sim)
+    with pytest.raises(SimError):
+        resource.release()
+
+
+def test_resource_capacity_validation(sim):
+    with pytest.raises(SimError):
+        Resource(sim, capacity=0)
+
+
+def test_resource_cancel_pending(sim):
+    resource = Resource(sim, capacity=1)
+    resource.acquire()
+    pending = resource.acquire()
+    resource.cancel(pending)
+    resource.release()
+    sim.run()
+    assert not pending.triggered
+    assert resource.in_use == 0
+
+
+def test_store_put_get_fifo(sim):
+    store = Store(sim)
+    store.put("a")
+    store.put("b")
+    first = store.get()
+    second = store.get()
+    sim.run()
+    assert (first.value, second.value) == ("a", "b")
+
+
+def test_store_get_blocks_until_put(sim):
+    store = Store(sim)
+    got = store.get()
+    sim.run()
+    assert not got.triggered
+    store.put("late")
+    sim.run()
+    assert got.value == "late"
+
+
+def test_store_capacity_blocks_putters(sim):
+    store = Store(sim, capacity=1)
+    first = store.put("a")
+    second = store.put("b")
+    sim.run()
+    assert first.triggered and not second.triggered
+    taken = store.get()
+    sim.run()
+    assert taken.value == "a"
+    assert second.triggered
+    assert store.items[0] == "b"
+
+
+def test_store_try_put_try_get(sim):
+    store = Store(sim, capacity=1)
+    assert store.try_put("a")
+    assert not store.try_put("b")
+    ok, item = store.try_get()
+    assert ok and item == "a"
+    ok, item = store.try_get()
+    assert not ok and item is None
+
+
+def test_store_len_and_full(sim):
+    store = Store(sim, capacity=2)
+    assert not store.full
+    store.put(1)
+    store.put(2)
+    assert store.full
+    assert len(store) == 2
+
+
+def test_gate_broadcasts_to_all_waiters(sim):
+    gate = Gate(sim)
+    waiters = [gate.wait() for _ in range(3)]
+    count = gate.fire("signal")
+    sim.run()
+    assert count == 3
+    assert all(w.value == "signal" for w in waiters)
+
+
+def test_gate_fire_with_no_waiters(sim):
+    gate = Gate(sim)
+    assert gate.fire() == 0
+
+
+def test_gate_waiters_cleared_after_fire(sim):
+    gate = Gate(sim)
+    gate.wait()
+    gate.fire()
+    assert gate.waiter_count == 0

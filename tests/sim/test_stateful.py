@@ -1,0 +1,147 @@
+"""Hypothesis stateful tests of the synchronization primitives.
+
+These drive random put/get/acquire/release sequences and check the
+invariants every higher layer depends on: FIFO delivery, conservation
+of items, and capacity bounds.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+import hypothesis.strategies as st
+
+from repro.sim import Resource, Simulator, Store
+
+
+class StoreMachine(RuleBasedStateMachine):
+    """Model-checks Store against an ideal FIFO queue."""
+
+    def __init__(self):
+        super().__init__()
+        self.sim = Simulator()
+        self.store = Store(self.sim, capacity=4)
+        self.model = []          # items accepted into the store, in order
+        self.pending_puts = []   # blocked (waitable, item)
+        self.pending_gets = []   # outstanding get waitables
+        self.received = []
+        self.sequence = 0
+
+    @rule()
+    def put(self):
+        item = self.sequence
+        self.sequence += 1
+        done = self.store.put(item)
+        if done.triggered:
+            self._model_accept(item)
+        else:
+            self.pending_puts.append((done, item))
+        self._reconcile()
+
+    @rule()
+    def get(self):
+        got = self.store.get()
+        if got.triggered:
+            self._model_accept_if_put_pending()
+            self.received.append(got.value)
+            self._model_consume(got.value)
+        else:
+            self.pending_gets.append(got)
+        self._reconcile()
+
+    @rule()
+    def settle(self):
+        """Drain sim callbacks, then reconcile blocked operations."""
+        self.sim.run()
+        self._reconcile()
+
+    def _model_accept_if_put_pending(self):
+        """A get may synchronously admit a previously blocked putter."""
+        still_pending = []
+        for done, item in self.pending_puts:
+            if done.triggered:
+                self._model_accept(item)
+            else:
+                still_pending.append((done, item))
+        self.pending_puts = still_pending
+
+    def _reconcile(self):
+        """Blocked operations may complete synchronously inside any rule
+        (a put hands its item straight to a parked getter, a get frees a
+        slot for a parked putter)."""
+        self._model_accept_if_put_pending()
+        still_getting = []
+        for got in self.pending_gets:
+            if got.triggered:
+                self.received.append(got.value)
+                self._model_consume(got.value)
+            else:
+                still_getting.append(got)
+        self.pending_gets = still_getting
+
+    def _model_accept(self, item):
+        self.model.append(item)
+
+    def _model_consume(self, item):
+        assert self.model, "received an item the model never accepted"
+        expected = self.model.pop(0)
+        assert item == expected, "FIFO order violated"
+
+    @invariant()
+    def capacity_respected(self):
+        assert len(self.store.items) <= 4
+
+    @invariant()
+    def received_in_submission_order(self):
+        assert self.received == sorted(self.received)
+
+
+class ResourceMachine(RuleBasedStateMachine):
+    """Model-checks Resource grant counting."""
+
+    def __init__(self):
+        super().__init__()
+        self.sim = Simulator()
+        self.capacity = 3
+        self.resource = Resource(self.sim, capacity=self.capacity)
+        self.granted = 0
+        self.waiting = []
+
+    @rule()
+    def acquire(self):
+        grant = self.resource.acquire()
+        if grant.triggered:
+            self.granted += 1
+        else:
+            self.waiting.append(grant)
+
+    @precondition(lambda self: self.granted > 0)
+    @rule()
+    def release(self):
+        self.resource.release()
+        self.granted -= 1
+        # A waiter may have been promoted synchronously.
+        promoted = [grant for grant in self.waiting if grant.triggered]
+        for grant in promoted:
+            self.waiting.remove(grant)
+            self.granted += 1
+
+    @invariant()
+    def never_over_capacity(self):
+        assert self.resource.in_use <= self.capacity
+        assert self.granted <= self.capacity
+        assert self.resource.in_use == self.granted
+
+    @invariant()
+    def waiters_only_when_full(self):
+        if self.waiting:
+            assert self.granted == self.capacity
+
+
+TestStoreMachine = StoreMachine.TestCase
+TestResourceMachine = ResourceMachine.TestCase
+TestStoreMachine.settings = settings(max_examples=40, stateful_step_count=40)
+TestResourceMachine.settings = settings(max_examples=40, stateful_step_count=40)

@@ -1,0 +1,105 @@
+"""Waitable semantics: one-shot triggering, callbacks, composites."""
+
+import pytest
+
+from repro.sim import SimError, StaleWaitable
+
+
+def test_succeed_delivers_value_to_callbacks(sim):
+    waitable = sim.waitable()
+    seen = []
+    waitable.add_callback(lambda w: seen.append(w.value))
+    waitable.succeed(42)
+    sim.run()
+    assert seen == [42]
+
+
+def test_callback_added_after_trigger_fires(sim):
+    waitable = sim.waitable()
+    waitable.succeed("early")
+    seen = []
+    waitable.add_callback(lambda w: seen.append(w.value))
+    sim.run()
+    assert seen == ["early"]
+
+
+def test_double_trigger_rejected(sim):
+    waitable = sim.waitable()
+    waitable.succeed(1)
+    with pytest.raises(StaleWaitable):
+        waitable.succeed(2)
+
+
+def test_fail_requires_exception(sim):
+    waitable = sim.waitable()
+    with pytest.raises(TypeError):
+        waitable.fail("not an exception")
+
+
+def test_unwaited_failure_raises(sim):
+    waitable = sim.waitable()
+    with pytest.raises(ValueError):
+        waitable.fail(ValueError("boom"))
+
+
+def test_defused_failure_is_silent(sim):
+    waitable = sim.waitable().defuse()
+    waitable.fail(ValueError("boom"))
+    sim.run()
+    assert waitable.triggered and not waitable.ok
+
+
+def test_discard_callback(sim):
+    waitable = sim.waitable()
+    seen = []
+    callback = lambda w: seen.append(w.value)  # noqa: E731
+    waitable.add_callback(callback)
+    waitable.discard_callback(callback)
+    waitable.succeed(1)
+    sim.run()
+    assert seen == []
+
+
+def test_timeout_negative_delay_rejected(sim):
+    with pytest.raises(SimError):
+        sim.timeout(-1)
+
+
+def test_any_of_first_wins(sim):
+    slow = sim.timeout(5.0, value="slow")
+    fast = sim.timeout(1.0, value="fast")
+    combined = sim.any_of([slow, fast])
+    sim.run(until=2.0)
+    assert combined.triggered
+    assert combined.value is fast
+
+
+def test_any_of_empty_rejected(sim):
+    with pytest.raises(SimError):
+        sim.any_of([])
+
+
+def test_all_of_collects_values_in_order(sim):
+    a = sim.timeout(2.0, value="a")
+    b = sim.timeout(1.0, value="b")
+    combined = sim.all_of([a, b])
+    sim.run()
+    assert combined.value == ["a", "b"]
+
+
+def test_all_of_empty_succeeds_immediately(sim):
+    combined = sim.all_of([])
+    sim.run()
+    assert combined.triggered
+    assert combined.value == []
+
+
+def test_all_of_propagates_failure(sim):
+    good = sim.timeout(1.0)
+    bad = sim.waitable()
+    combined = sim.all_of([good, bad])
+    errors = []
+    combined.add_callback(lambda w: errors.append(w.value))
+    bad.fail(RuntimeError("nope"))
+    sim.run()
+    assert isinstance(errors[0], RuntimeError)

@@ -1,0 +1,44 @@
+"""The `python -m repro` experiment runner."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "microbench" in out and "rubis" in out and "nfs" in out
+
+
+def test_parser_rejects_unknown_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["bogus"])
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args(["rubis"])
+    assert args.scheduler == "both"
+    assert args.duration == 20.0
+    args = build_parser().parse_args(["nfs", "--threads", "1,2"])
+    assert args.threads == "1,2"
+
+
+def test_nfs_command_small(capsys):
+    assert main(["nfs", "--threads", "1", "--ops", "6"]) == 0
+    out = capsys.readouterr().out
+    assert "Figures 4 & 5" in out
+    assert "proxy user ms" in out
+
+
+def test_rubis_command_single_scheduler(capsys):
+    assert main(["rubis", "--scheduler", "dwcs", "--duration", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "bidding" in out and "comment" in out
+
+
+def test_microbench_quick(capsys):
+    assert main(["microbench", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "linpack" in out
+    assert "overhead vs configuration" in out

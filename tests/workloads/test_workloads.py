@@ -1,0 +1,138 @@
+"""Workload generators: linpack, iperf, iozone, httperf."""
+
+import pytest
+
+from repro.apps.nfs.service import VirtualStorageService
+from repro.apps.rubis.requests import BIDDING, COMMENT
+from repro.cluster import Cluster
+from repro.workloads.httperf import HttperfConfig, spawn_httperf
+from repro.workloads.iozone import IozoneConfig, IozoneResults, spawn_iozone
+from repro.workloads.iperf import IperfRun, run_iperf
+from repro.workloads.linpack import FLOPS_PER_SECOND, spawn_linpack
+
+
+def test_linpack_mflops_matches_cpu_rate():
+    cluster = Cluster(seed=1)
+    node = cluster.add_node("n1")
+    task = spawn_linpack(node, duration=0.5)
+    cluster.run(until=1.0)
+    result = task.exit_value
+    assert result.mflops == pytest.approx(FLOPS_PER_SECOND / 1e6, rel=0.01)
+    assert result.iterations > 0
+
+
+def test_linpack_shares_cpu_fairly():
+    cluster = Cluster(seed=1)
+    node = cluster.add_node("n1")
+    a = spawn_linpack(node, duration=0.5)
+    b = spawn_linpack(node, duration=0.5)
+    cluster.run(until=1.0)
+    # Two instances halve each other's MFLOPS.
+    assert a.exit_value.mflops == pytest.approx(
+        FLOPS_PER_SECOND / 2e6, rel=0.05
+    )
+
+
+def test_iperf_cpu_limited_on_gigabit():
+    cluster = Cluster(seed=42)
+    cluster.add_node("tx")
+    cluster.add_node("rx")
+    result = run_iperf(cluster, "tx", "rx", duration=0.2)
+    # Calibration anchor: ~930 Mbps CPU-limited baseline (paper §3.1).
+    assert 850 < result.mbps < 1000
+
+
+def test_iperf_link_limited_on_fast_ethernet():
+    cluster = Cluster(seed=42, bandwidth_bps=100_000_000)
+    cluster.add_node("tx")
+    cluster.add_node("rx")
+    result = run_iperf(cluster, "tx", "rx", duration=0.2)
+    assert 85 < result.mbps <= 100
+
+
+def test_iperf_snapshot_mbps():
+    cluster = Cluster(seed=42)
+    run = IperfRun(
+        cluster.add_node("tx"), cluster.add_node("rx"), duration=0.3
+    ).start()
+    cluster.sim.run(until=0.15)
+    assert run.snapshot_mbps(cluster.sim.now) > 100
+
+
+def _storage(seed=9):
+    cluster = Cluster(seed=seed)
+    cluster.add_node("client1")
+    cluster.add_node("proxy")
+    cluster.add_node("backend1", with_disk=True)
+    VirtualStorageService(cluster, "proxy", ["backend1"]).start()
+    return cluster
+
+
+def test_iozone_thread_and_op_counts():
+    cluster = _storage()
+    config = IozoneConfig(threads=2, ops_per_thread=5, rewrite=True, pipeline=2,
+                          stable=False, commit_every=4)
+    results = IozoneResults()
+    spawn_iozone(cluster.node("client1"), "proxy", config, results)
+    cluster.run(until=120.0)
+    assert results.threads_done == 2
+    writes = results.latencies(op="nfs-write")
+    commits = results.latencies(op="nfs-commit")
+    # 2 threads x 2 passes x 5 writes
+    assert len(writes) == 20
+    assert len(commits) >= 4  # at least one commit per pass per thread
+    assert results.mean_latency > 0
+
+
+def test_iozone_stable_mode_skips_commits():
+    cluster = _storage()
+    config = IozoneConfig(threads=1, ops_per_thread=4, rewrite=False,
+                          pipeline=1, stable=True)
+    results = IozoneResults()
+    spawn_iozone(cluster.node("client1"), "proxy", config, results)
+    cluster.run(until=120.0)
+    assert results.latencies(op="nfs-commit") == []
+    assert len(results.latencies(op="nfs-write")) == 4
+
+
+class _SinkDispatcher:
+    def __init__(self):
+        self.requests = []
+
+    def submit(self, request):
+        self.requests.append(request)
+
+
+def test_httperf_generates_poisson_arrivals():
+    cluster = Cluster(seed=5)
+    node = cluster.add_node("client")
+    sink = _SinkDispatcher()
+    config = HttperfConfig(
+        sessions_per_class=10, rate_per_class=50.0, duration=4.0, start=0.0
+    )
+    _tasks, stats = spawn_httperf(node, sink, config, cluster.streams)
+    cluster.run(until=5.0)
+    generated = stats.generated
+    # ~50/s x 4s = 200 per class, Poisson: allow generous slack.
+    for profile in (BIDDING, COMMENT):
+        assert 150 < generated[profile.name] < 260
+    assert stats.sessions_done == 20
+    classes = {request.name for request in sink.requests}
+    assert classes == {"bidding", "comment"}
+
+
+def test_httperf_deterministic_across_runs():
+    counts = []
+    for _ in range(2):
+        cluster = Cluster(seed=5)
+        node = cluster.add_node("client")
+        sink = _SinkDispatcher()
+        config = HttperfConfig(sessions_per_class=5, rate_per_class=30.0,
+                               duration=2.0)
+        _tasks, stats = spawn_httperf(node, sink, config, cluster.streams)
+        cluster.run(until=3.0)
+        counts.append(
+            tuple(sorted((request.name, round(request.arrival, 9))
+                         for request in sink.requests))
+        )
+    assert counts[0] == counts[1]
