@@ -7,7 +7,6 @@ Each ablation disables one design choice and measures what it costs.
 
 from repro.cluster import Cluster
 from repro.core import SysProf, SysProfConfig
-from repro.core.buffers import SingleBuffer
 from repro.workloads.iperf import run_iperf
 from benchmarks.conftest import report
 

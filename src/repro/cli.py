@@ -3,9 +3,13 @@
 Usage::
 
     python -m repro list
-    python -m repro microbench [--quick]
-    python -m repro nfs [--threads 1,2,4,8,16] [--ops 20]
-    python -m repro rubis [--scheduler dwcs|radwcs|both] [--duration 20]
+    python -m repro microbench [--quick] [--jobs N]
+    python -m repro nfs [--threads 1,2,4,8,16] [--ops 20] [--jobs N]
+    python -m repro rubis [--scheduler dwcs|radwcs|both] [--duration 20] [--jobs N]
+
+``--jobs N`` fans independent sweep points out over N worker processes
+(``--jobs 0`` = one per CPU).  Results are identical to serial runs —
+see docs/performance.md.
 
 Each command prints the same paper-vs-measured tables the benchmark
 harness produces, without pytest.
@@ -31,24 +35,26 @@ def _cmd_list(_args):
 
 def _cmd_microbench(args):
     from repro.experiments import (
-        iperf_experiment,
-        linpack_experiment,
         overhead_range_experiment,
+        run_headline_experiments,
     )
 
+    jobs = _jobs(args)
     duration = 0.15 if args.quick else 0.3
-    rows = []
-    linpack = linpack_experiment(duration=0.5 if args.quick else 1.5)
-    rows.append(linpack.row())
-    rows.append(iperf_experiment(1_000_000_000, duration=duration).row())
-    rows.append(iperf_experiment(100_000_000, duration=duration).row())
+    headline = run_headline_experiments(
+        linpack_duration=0.5 if args.quick else 1.5,
+        iperf_duration=duration, jobs=jobs,
+    )
+    rows = [entry.row() for entry in headline]
     print(format_table(
         ("benchmark", "baseline", "monitored", "overhead %"),
         rows,
         title="§3.1 microbenchmarks (paper: linpack ~0%, 1G ~13%, 100M ~3%)",
     ))
     print()
-    sweep = overhead_range_experiment(duration=0.1 if args.quick else 0.25)
+    sweep = overhead_range_experiment(
+        duration=0.1 if args.quick else 0.25, jobs=jobs
+    )
     print(format_table(
         ("configuration", "Mbps", "overhead %"),
         [(entry.label, entry.monitored, entry.overhead_pct) for entry in sweep],
@@ -58,19 +64,18 @@ def _cmd_microbench(args):
 
 
 def _cmd_nfs(args):
-    from repro.experiments import NfsExperimentConfig, run_nfs_experiment
+    from repro.experiments import NfsExperimentConfig, run_thread_sweep
 
     threads = tuple(int(part) for part in args.threads.split(","))
     config = NfsExperimentConfig(
         thread_counts=threads, ops_per_thread=args.ops
     )
     rows = []
-    for count in threads:
-        result = run_nfs_experiment(count, config)
+    for result in run_thread_sweep(config, jobs=_jobs(args)):
         rows.append((
-            count, result.proxy_user_ms, result.proxy_kernel_ms,
-            result.backend_kernel_ms, result.backend_to_proxy_ratio,
-            result.client_mean_latency_ms,
+            result.threads_per_client, result.proxy_user_ms,
+            result.proxy_kernel_ms, result.backend_kernel_ms,
+            result.backend_to_proxy_ratio, result.client_mean_latency_ms,
         ))
     print(format_table(
         ("threads/client", "proxy user ms", "proxy kernel ms",
@@ -84,7 +89,7 @@ def _cmd_nfs(args):
 
 
 def _cmd_rubis(args):
-    from repro.experiments import RubisExperimentConfig, run_rubis_experiment
+    from repro.experiments import RubisExperimentConfig
 
     config = RubisExperimentConfig(
         duration=args.duration, load_at=args.duration / 2.0
@@ -92,9 +97,15 @@ def _cmd_rubis(args):
     schedulers = (
         ("dwcs", "radwcs") if args.scheduler == "both" else (args.scheduler,)
     )
-    results = {}
-    for scheduler in schedulers:
-        results[scheduler] = run_rubis_experiment(scheduler, config)
+    from repro.experiments import run_points
+    from repro.experiments.rubis_qos import _comparison_point
+
+    measured = run_points(
+        _comparison_point,
+        [(scheduler, config, True) for scheduler in schedulers],
+        jobs=_jobs(args),
+    )
+    results = dict(zip(schedulers, measured))
     rows = []
     for scheduler, result in results.items():
         for name in ("bidding", "comment"):
@@ -115,6 +126,20 @@ def _cmd_rubis(args):
     return 0
 
 
+def _jobs(args):
+    """Translate the --jobs flag: 1 = serial, 0 = one worker per CPU."""
+    jobs = getattr(args, "jobs", 1)
+    return None if jobs == 0 else jobs
+
+
+def _add_jobs_flag(subparser):
+    subparser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for independent sweep points "
+             "(default 1 = serial, 0 = one per CPU)",
+    )
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro", description="SysProf reproduction experiment runner"
@@ -126,17 +151,20 @@ def build_parser():
     micro = commands.add_parser("microbench", help="§3.1 microbenchmarks")
     micro.add_argument("--quick", action="store_true",
                        help="shorter runs (less precise)")
+    _add_jobs_flag(micro)
 
     nfs = commands.add_parser("nfs", help="Figures 4 & 5 (storage service)")
     nfs.add_argument("--threads", default="1,2,4,8,16",
                      help="comma-separated iozone threads per client")
     nfs.add_argument("--ops", type=int, default=20,
                      help="write ops per thread per pass")
+    _add_jobs_flag(nfs)
 
     rubis = commands.add_parser("rubis", help="Figures 6 & 7 (RUBiS QoS)")
     rubis.add_argument("--scheduler", choices=("dwcs", "radwcs", "both"),
                        default="both")
     rubis.add_argument("--duration", type=float, default=20.0)
+    _add_jobs_flag(rubis)
 
     return parser
 

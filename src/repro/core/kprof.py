@@ -13,17 +13,26 @@ subscribed callback's declared cost.  Callbacks run synchronously in the
 fast path and must not block (they are plain functions, not processes).
 """
 
+from collections import Counter
+
 from repro.core.events import MonEvent, intern_etype
 from repro.ossim.tracepoints import EVENT_CLASSES, Tracepoints
 
 
 class Subscription:
-    __slots__ = ("name", "callback", "predicate", "cost", "etypes")
+    __slots__ = ("name", "callback", "predicate", "fields_pred", "cost", "etypes")
 
     def __init__(self, name, callback, predicate, cost, etypes):
         self.name = name
         self.callback = callback
         self.predicate = predicate
+        # Predicates built by the helpers below only read event *fields*
+        # (via .get/[]/in, which plain dicts also support) and advertise
+        # that with ``fields_only``.  fire() can then evaluate them on the
+        # raw payload dict before paying for a MonEvent + clock read.
+        self.fields_pred = (
+            predicate if getattr(predicate, "fields_only", False) else None
+        )
         self.cost = cost
         self.etypes = frozenset(etypes)
 
@@ -38,9 +47,16 @@ class Kprof(Tracepoints):
         self.kernel = kernel
         self.costs = monitor_costs or kernel.costs
         self._subs = {}  # etype -> [Subscription]
+        # Copy-on-write view of _subs: etype -> tuple(Subscription), only
+        # for un-masked types.  fire() iterates these immutable snapshots,
+        # so subscribe/unsubscribe during delivery never mutates a list
+        # mid-iteration and the per-fire list() copy is gone.
+        self._snap = {}
+        self._enabled = frozenset()
         self._cost_cache = {}
         self._masked = set()  # event types force-disabled by the controller
-        self.events_fired = {}
+        self.events_fired = Counter()
+        self.events_delivered = 0
         self.events_suppressed = 0
         self.attached = False
 
@@ -84,7 +100,7 @@ class Kprof(Tracepoints):
         for etype in etypes:
             intern_etype(etype)
             self._subs.setdefault(etype, []).append(sub)
-        self._cost_cache.clear()
+        self._rebuild()
         return sub
 
     def unsubscribe(self, sub):
@@ -94,15 +110,26 @@ class Kprof(Tracepoints):
                 subs.remove(sub)
                 if not subs:
                     del self._subs[etype]
-        self._cost_cache.clear()
+        self._rebuild()
 
     def mask(self, etypes):
         """Force-disable event types regardless of subscriptions (controller)."""
         self._masked.update(self._expand(etypes))
-        self._cost_cache.clear()
+        self._rebuild()
 
     def unmask(self, etypes):
         self._masked.difference_update(self._expand(etypes))
+        self._rebuild()
+
+    def _rebuild(self):
+        """Refresh the copy-on-write dispatch tables after any mutation."""
+        masked = self._masked
+        self._snap = {
+            etype: tuple(subs)
+            for etype, subs in self._subs.items()
+            if etype not in masked
+        }
+        self._enabled = frozenset(self._snap)
         self._cost_cache.clear()
 
     @staticmethod
@@ -123,40 +150,78 @@ class Kprof(Tracepoints):
     # ------------------------------------------------------------------
 
     def enabled(self, etype):
-        return etype in self._subs and etype not in self._masked
+        return etype in self._enabled
 
     def cost(self, etype):
         cached = self._cost_cache.get(etype)
         if cached is not None:
             return cached
-        if etype in self._masked or etype not in self._subs:
+        if etype not in self._enabled:
             total = self.costs.probe_disabled
         else:
             total = self.costs.probe_fire
-            for sub in self._subs[etype]:
+            for sub in self._snap[etype]:
                 total += sub.cost
         self._cost_cache[etype] = total
         return total
 
     def fire(self, etype, sim_ts=None, **fields):
-        subs = self._subs.get(etype)
-        if not subs or etype in self._masked:
+        """Deliver one tracepoint hit to the current subscribers.
+
+        Accounting is per (event, subscription) attempt: every attempt is
+        either *delivered* or *suppressed* by a predicate, and
+        ``events_fired`` counts attempts so ``fired == delivered +
+        suppressed`` always holds (checked in :meth:`stats`).
+        """
+        if etype not in self._enabled:
             return
+        # ``event`` is built lazily: if every subscription rejects via a
+        # fields-only predicate, neither the MonEvent nor the clock read
+        # ever happens.
+        event = None
+        delivered = 0
+        suppressed = 0
+        snap = self._snap[etype]
+        for sub in snap:
+            predicate = sub.predicate
+            if predicate is not None:
+                if event is None and sub.fields_pred is not None:
+                    if not predicate(fields):
+                        suppressed += 1
+                        continue
+                else:
+                    if event is None:
+                        event = self._make_event(etype, sim_ts, fields)
+                    if not predicate(event):
+                        suppressed += 1
+                        continue
+            if event is None:
+                event = self._make_event(etype, sim_ts, fields)
+            sub.callback(event)
+            delivered += 1
+        self.events_fired[etype] += delivered + suppressed
+        self.events_delivered += delivered
+        self.events_suppressed += suppressed
+
+    def _make_event(self, etype, sim_ts, fields):
         sim_now = self.kernel.sim.now if sim_ts is None else sim_ts
         ts = self.kernel.clock.local_time(sim_now)
-        event = MonEvent(etype, ts, self.kernel.name, fields)
-        self.events_fired[etype] = self.events_fired.get(etype, 0) + 1
-        for sub in list(subs):
-            if sub.predicate is not None and not sub.predicate(event):
-                self.events_suppressed += 1
-                continue
-            sub.callback(event)
+        return MonEvent(etype, ts, self.kernel.name, fields)
 
     # ------------------------------------------------------------------
 
     def stats(self):
+        fired_total = sum(self.events_fired.values())
+        if fired_total != self.events_delivered + self.events_suppressed:
+            raise AssertionError(
+                "kprof accounting broken: fired={} != delivered={} + "
+                "suppressed={}".format(
+                    fired_total, self.events_delivered, self.events_suppressed
+                )
+            )
         return {
             "fired": dict(self.events_fired),
+            "delivered": self.events_delivered,
             "suppressed": self.events_suppressed,
             "subscribed_types": sorted(self._subs),
             "masked": sorted(self._masked),
@@ -166,6 +231,12 @@ class Kprof(Tracepoints):
 # ----------------------------------------------------------------------
 # predicate helpers ("events can be pruned on the basis of process IDs,
 # group IDs, or other such predicates")
+#
+# All of them read only event *fields* through .get/[]/in, so they work
+# on a raw payload dict as well as a MonEvent; ``fields_only = True``
+# advertises that and lets Kprof.fire() reject events before building a
+# MonEvent at all.  Hand-written predicates that touch .ts/.node/.etype
+# must NOT set the flag.
 # ----------------------------------------------------------------------
 
 def pid_predicate(pids):
@@ -176,6 +247,7 @@ def pid_predicate(pids):
         pid = event.get("pid", event.get("sock_pid"))
         return pid in pids
 
+    check.fields_only = True
     return check
 
 
@@ -190,6 +262,7 @@ def exclude_port_range(low, high):
                 return False
         return True
 
+    check.fields_only = True
     return check
 
 
@@ -200,6 +273,7 @@ def field_predicate(name, allowed):
     def check(event):
         return event.get(name) in allowed
 
+    check.fields_only = True
     return check
 
 
@@ -209,4 +283,7 @@ def all_of(*predicates):
     def check(event):
         return all(p(event) for p in predicates)
 
+    check.fields_only = all(
+        getattr(p, "fields_only", False) for p in predicates
+    )
     return check

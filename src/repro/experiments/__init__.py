@@ -1,12 +1,20 @@
 """One driver per paper table/figure (see DESIGN.md's experiment index)."""
 
-from repro.experiments.common import Series, format_table, mean, mean_field
+from repro.experiments.common import (
+    Series,
+    format_table,
+    mean,
+    mean_field,
+    trace_digest,
+)
 from repro.experiments.microbench import (
     OverheadResult,
     iperf_experiment,
     linpack_experiment,
     overhead_range_experiment,
+    run_headline_experiments,
 )
+from repro.experiments.runner import available_jobs, derive_seed, run_points
 from repro.experiments.nfs_storage import (
     NfsExperimentConfig,
     NfsRunResult,
@@ -28,6 +36,8 @@ __all__ = [
     "RubisExperimentConfig",
     "RubisRunResult",
     "Series",
+    "available_jobs",
+    "derive_seed",
     "format_table",
     "iperf_experiment",
     "linpack_experiment",
@@ -36,7 +46,10 @@ __all__ = [
     "monitoring_cost_experiment",
     "overhead_range_experiment",
     "run_comparison",
+    "run_headline_experiments",
     "run_nfs_experiment",
+    "run_points",
     "run_rubis_experiment",
     "run_thread_sweep",
+    "trace_digest",
 ]

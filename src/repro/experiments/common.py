@@ -1,6 +1,43 @@
 """Shared experiment plumbing."""
 
+import hashlib
+import json
 from dataclasses import dataclass, field
+
+
+def trace_digest(records):
+    """A stable content hash of a GPA record trace.
+
+    Records are JSON-serialized with sorted keys (floats keep full
+    ``repr`` precision), so two traces hash equal iff they are
+    byte-identical — the currency of the determinism tests, which compare
+    fast-lane on/off and serial vs ``--jobs N`` runs.
+
+    ``interaction_id`` comes from a process-global counter (unique across
+    every cluster in the process), so repeated runs shift it by a
+    constant while the trace is otherwise identical.  It is rebased to
+    the trace's minimum id before hashing — the same normalization the
+    determinism tests have always applied.
+    """
+    records = list(records)
+    ids = [
+        record["interaction_id"]
+        for record in records
+        if isinstance(record, dict) and "interaction_id" in record
+    ]
+    if ids:
+        base = min(ids)
+        records = [
+            {
+                key: (value - base if key == "interaction_id" else value)
+                for key, value in record.items()
+            }
+            if isinstance(record, dict) and "interaction_id" in record
+            else record
+            for record in records
+        ]
+    payload = json.dumps(records, sort_keys=True, default=repr)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 @dataclass

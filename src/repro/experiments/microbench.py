@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 from repro.cluster import Cluster
 from repro.core import SysProf, SysProfConfig
+from repro.experiments.runner import run_points
 from repro.workloads.iperf import run_iperf
 from repro.workloads.linpack import spawn_linpack
 
@@ -75,14 +76,52 @@ def iperf_experiment(bandwidth_bps, duration=0.3, seed=42):
     return OverheadResult(label, results[0], results[1], "Mbps")
 
 
-def overhead_range_experiment(duration=0.25, seed=42):
+def _headline_point(args):
+    """Picklable worker for one §3.1 headline benchmark."""
+    kind, duration, seed = args
+    if kind == "linpack":
+        return linpack_experiment(duration=duration, seed=seed)
+    if kind == "iperf-1g":
+        return iperf_experiment(1_000_000_000, duration=duration, seed=seed)
+    return iperf_experiment(100_000_000, duration=duration, seed=seed)
+
+
+def run_headline_experiments(linpack_duration=1.5, iperf_duration=0.3,
+                             seed=42, jobs=1):
+    """The three §3.1 headline rows (linpack, iperf 1G, iperf 100M).
+
+    Independent clusters per point, so ``jobs`` parallelism cannot change
+    any number.
+    """
+    points = [
+        ("linpack", linpack_duration, seed),
+        ("iperf-1g", iperf_duration, seed),
+        ("iperf-100m", iperf_duration, seed),
+    ]
+    return run_points(_headline_point, points, jobs=jobs)
+
+
+def _overhead_point(args):
+    """Picklable worker for one monitoring-configuration sweep point."""
+    label, config, tweak, duration, seed = args
+    cluster = _cluster(1_000_000_000, seed=seed)
+    if config is not None:
+        sysprof = _install(cluster, config)
+        if tweak == "mask-all":
+            sysprof.controller.disable_events(
+                ["network", "scheduling", "syscall", "filesystem", "block"]
+            )
+    mbps = run_iperf(cluster, "tx", "rx", duration=duration).mbps
+    return label, mbps
+
+
+def overhead_range_experiment(duration=0.25, seed=42, jobs=1):
     """Sweep monitoring configurations to span <1% .. >10% overhead.
 
     Demonstrates the controller's "tradeoffs between the granularity,
-    overheads, and delays of runtime diagnoses".
+    overheads, and delays of runtime diagnoses".  The first (unmonitored)
+    point is the baseline for every row.
     """
-    baseline = None
-    rows = []
     configurations = [
         ("off", None, None),
         ("attached, all events masked", SysProfConfig(eviction_interval=0.1), "mask-all"),
@@ -94,18 +133,15 @@ def overhead_range_experiment(duration=0.25, seed=42):
         ("text encoding (no PBIO)", SysProfConfig(
             eviction_interval=0.01, buffer_capacity=16, text_encoding=True), None),
     ]
-    for label, config, tweak in configurations:
-        cluster = _cluster(1_000_000_000, seed=seed)
-        if config is not None:
-            sysprof = _install(cluster, config)
-            if tweak == "mask-all":
-                sysprof.controller.disable_events(
-                    ["network", "scheduling", "syscall", "filesystem", "block"]
-                )
-        mbps = run_iperf(cluster, "tx", "rx", duration=duration).mbps
-        if baseline is None:
-            baseline = mbps
-        rows.append(
-            OverheadResult(label, baseline, mbps, "Mbps")
-        )
-    return rows
+    measured = run_points(
+        _overhead_point,
+        [
+            (label, config, tweak, duration, seed)
+            for label, config, tweak in configurations
+        ],
+        jobs=jobs,
+    )
+    baseline = measured[0][1]
+    return [
+        OverheadResult(label, baseline, mbps, "Mbps") for label, mbps in measured
+    ]

@@ -12,12 +12,13 @@ reports, per client thread count:
   kernel daemon).
 """
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.apps.nfs.service import VirtualStorageService
 from repro.cluster import Cluster, NodeClock, synchronize
 from repro.core import SysProf, SysProfConfig
-from repro.experiments.common import mean_field
+from repro.experiments.common import mean_field, trace_digest
+from repro.experiments.runner import run_points
 from repro.ossim.costs import CostModel
 from repro.workloads.iozone import IozoneConfig, IozoneResults, spawn_iozone
 
@@ -34,6 +35,7 @@ class NfsRunResult:
     rpc_count: int
     network_rtt_ms: float
     causal_paths: int = 0
+    trace_hash: str = ""
 
 
 @dataclass
@@ -143,12 +145,26 @@ def run_nfs_experiment(threads_per_client, config=None):
         rpc_count=results.count,
         network_rtt_ms=2.0 * cluster.one_way_latency() * 1e3,
         causal_paths=sum(1 for path in paths if path.downstream),
+        trace_hash=trace_digest(sysprof.gpa.query_interactions()),
     )
 
 
-def run_thread_sweep(config=None):
-    """Figures 4 and 5: one :class:`NfsRunResult` per thread count."""
+def _sweep_point(args):
+    """Picklable worker for one Figure-4/5 sweep point."""
+    threads, config = args
+    return run_nfs_experiment(threads, config)
+
+
+def run_thread_sweep(config=None, jobs=1):
+    """Figures 4 and 5: one :class:`NfsRunResult` per thread count.
+
+    ``jobs > 1`` fans the sweep points out over worker processes; every
+    point builds its own cluster from ``config.seed``, so results (and
+    GPA trace hashes) are identical to the serial run.
+    """
     config = config or NfsExperimentConfig()
-    return [
-        run_nfs_experiment(threads, config) for threads in config.thread_counts
-    ]
+    return run_points(
+        _sweep_point,
+        [(threads, config) for threads in config.thread_counts],
+        jobs=jobs,
+    )

@@ -25,6 +25,8 @@ from repro.apps.scheduling import (
 )
 from repro.cluster import Cluster
 from repro.core import SysProf, SysProfConfig
+from repro.experiments.common import trace_digest
+from repro.experiments.runner import run_points
 from repro.workloads.httperf import HttperfConfig, spawn_httperf
 
 SERVLETS = ("servlet1", "servlet2")
@@ -55,6 +57,7 @@ class RubisRunResult:
     series: dict = field(default_factory=dict)
     servlet_split: dict = field(default_factory=dict)
     monitor_enabled: bool = True
+    trace_hash: str = ""
 
     @property
     def pre_total(self):
@@ -141,6 +144,11 @@ def run_rubis_experiment(scheduler="dwcs", config=None, inject_load=True):
             record.servlet, 0
         )
         servlet_split[record.request_class][record.servlet] += 1
+    if sysprof is not None:
+        sysprof.flush()
+        trace_hash = trace_digest(sysprof.gpa.query_interactions())
+    else:
+        trace_hash = ""
     return RubisRunResult(
         scheduler=scheduler,
         pre_throughput=pre,
@@ -150,14 +158,28 @@ def run_rubis_experiment(scheduler="dwcs", config=None, inject_load=True):
         series=dispatcher.throughput_series(bin_width=1.0, until=end),
         servlet_split=servlet_split,
         monitor_enabled=config.monitor,
+        trace_hash=trace_hash,
     )
 
 
-def run_comparison(config=None):
-    """Figure 6 vs Figure 7 plus headline gain."""
+def _comparison_point(args):
+    """Picklable worker for one scheduler variant of the comparison."""
+    scheduler, config, inject_load = args
+    return run_rubis_experiment(scheduler, config, inject_load=inject_load)
+
+
+def run_comparison(config=None, jobs=1):
+    """Figure 6 vs Figure 7 plus headline gain.
+
+    The two scheduler runs are independent simulations; ``jobs=2`` runs
+    them in parallel worker processes with identical results.
+    """
     config = config or RubisExperimentConfig()
-    dwcs = run_rubis_experiment("dwcs", config)
-    radwcs = run_rubis_experiment("radwcs", config)
+    dwcs, radwcs = run_points(
+        _comparison_point,
+        [("dwcs", config, True), ("radwcs", config, True)],
+        jobs=jobs,
+    )
     gain = 0.0
     if dwcs.post_total:
         gain = 100.0 * (radwcs.post_total - dwcs.post_total) / dwcs.post_total

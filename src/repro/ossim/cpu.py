@@ -19,7 +19,7 @@ from collections import deque
 from repro.sim.engine import Waitable
 from repro.sim.errors import Interrupt
 from repro.sim.resources import Gate
-from repro.ossim.task import BAND_IRQ, BAND_USER, TASK_READY, TASK_RUNNING
+from repro.ossim.task import BAND_IRQ, TASK_READY, TASK_RUNNING
 from repro.ossim import tracepoints as tp
 
 _EPSILON = 1e-12

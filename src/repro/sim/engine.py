@@ -1,8 +1,8 @@
 """Deterministic discrete-event simulation engine.
 
-The engine is a single ordered heap of ``(time, priority, seq, fn, args)``
-entries.  All higher-level constructs (processes, timeouts, resources,
-sockets, CPU schedulers) are built from two primitives:
+The engine orders ``(time, priority, seq, args, fn)`` entries.  All
+higher-level constructs (processes, timeouts, resources, sockets, CPU
+schedulers) are built from two primitives:
 
 * :meth:`Simulator.schedule` — run a callback at an absolute offset, and
 * :class:`Waitable` — a one-shot completion cell that callbacks (and
@@ -13,9 +13,22 @@ must produce identical traces, because the monitoring toolkit under test
 diffs event streams across configurations.  The ``seq`` counter breaks
 time ties in insertion order and no wall-clock value ever enters the
 simulation.
+
+Storage is split between a binary heap (future events) and three
+same-time FIFO *fast lanes*, one per priority band (``docs/performance.md``).
+``call_soon()`` and Waitable callback delivery append to a lane instead of
+paying a ``heapq`` round-trip.  The split is an implementation detail:
+every entry still carries its ``(time, priority, seq)`` key and the
+dispatch loop always pops the global minimum, so ordering is bit-for-bit
+identical to a single-heap engine.  The load-bearing invariant is that a
+lane entry's time equals ``now`` at insertion and the clock can never
+advance past a pending lane entry (the lane entry is a strictly smaller
+key than any later-time event), so lane entries are always due and lanes
+never need sorting.
 """
 
-import heapq
+from heapq import heapify, heappop, heappush
+from collections import deque
 from itertools import count
 
 from repro.sim.errors import SimError, StaleWaitable
@@ -25,18 +38,42 @@ PRIORITY_INTERRUPT = 0
 PRIORITY_NORMAL = 1
 PRIORITY_LOW = 2
 
+_LANE_PRIORITIES = (PRIORITY_INTERRUPT, PRIORITY_NORMAL, PRIORITY_LOW)
+
+#: Default for :class:`Simulator`'s ``fast_lane`` switch.  Tests flip this
+#: to prove the lane and pure-heap paths produce identical traces.
+DEFAULT_FAST_LANE = True
+
+#: Purge cancelled heap entries once at least this many accumulate *and*
+#: they make up half the heap (amortised O(1) per cancel).
+_PURGE_MIN_CANCELLED = 64
+
+#: Upper bound on recycled entry lists kept for reuse.
+_POOL_LIMIT = 1024
+
+# Entry layout (a mutable list so cancellation can null the callback):
+#   [time, priority, seq, args, fn, poolable]
+# ``fn is None`` marks a cancelled entry.  ``poolable`` is True only for
+# handle-less internal entries (callback delivery), which are safe to
+# recycle after dispatch because no Handle can ever reference them.
+
 
 class Handle:
     """Cancellation handle for a scheduled callback."""
 
-    __slots__ = ("_entry",)
+    __slots__ = ("_sim", "_entry")
 
-    def __init__(self, entry):
+    def __init__(self, sim, entry):
+        self._sim = sim
         self._entry = entry
 
     def cancel(self):
         """Prevent the callback from running.  Idempotent."""
-        self._entry[4] = None
+        entry = self._entry
+        if entry[4] is not None:
+            entry[4] = None
+            entry[3] = None
+            self._sim._note_cancel()
 
     @property
     def cancelled(self):
@@ -49,8 +86,8 @@ class Waitable:
     A waitable is *triggered* exactly once, either successfully
     (:meth:`succeed`) or with an exception (:meth:`fail`).  Callbacks
     added before triggering fire at trigger time; callbacks added after
-    fire immediately (in the same timestep, via the event heap so that
-    ordering remains deterministic).
+    fire immediately (in the same timestep, through the event loop so
+    that ordering remains deterministic).
     """
 
     __slots__ = ("sim", "_done", "_ok", "_value", "_callbacks", "_defused")
@@ -81,7 +118,7 @@ class Waitable:
     def add_callback(self, fn):
         """Run ``fn(self)`` when the waitable triggers."""
         if self._done:
-            self.sim.call_soon(fn, self)
+            self.sim._soon(fn, (self,))
         else:
             self._callbacks.append(fn)
 
@@ -114,8 +151,9 @@ class Waitable:
         self._ok = ok
         self._value = value
         callbacks, self._callbacks = self._callbacks, None
+        soon = self.sim._soon
         for fn in callbacks:
-            self.sim.call_soon(fn, self)
+            soon(fn, (self,))
         if not ok and not callbacks and not self._defused:
             raise value
 
@@ -184,6 +222,11 @@ class AllOf(Waitable):
 class Simulator:
     """The event loop.
 
+    ``fast_lane`` selects between the lane-accelerated dispatcher and the
+    pure-heap reference path (default: :data:`DEFAULT_FAST_LANE`).  Both
+    produce identical event orderings; the switch exists so determinism
+    tests and benchmarks can compare them.
+
     >>> sim = Simulator()
     >>> ticks = []
     >>> _ = sim.schedule(5.0, lambda: ticks.append(sim.now))
@@ -192,11 +235,15 @@ class Simulator:
     [5.0]
     """
 
-    def __init__(self):
+    def __init__(self, fast_lane=None):
         self.now = 0.0
         self._heap = []
+        self._lanes = (deque(), deque(), deque())
+        self._pool = []
         self._seq = count()
         self._running = False
+        self._cancelled = 0
+        self._fast = DEFAULT_FAST_LANE if fast_lane is None else bool(fast_lane)
 
     # ------------------------------------------------------------------
     # scheduling primitives
@@ -206,17 +253,59 @@ class Simulator:
         """Run ``fn(*args)`` after ``delay`` simulated seconds."""
         if delay < 0:
             raise SimError("cannot schedule into the past (delay={})".format(delay))
-        entry = [self.now + delay, priority, next(self._seq), args, fn]
-        heapq.heappush(self._heap, entry)
-        return Handle(entry)
+        entry = [self.now + delay, priority, next(self._seq), args, fn, False]
+        if delay == 0.0 and self._fast and priority in _LANE_PRIORITIES:
+            self._lanes[priority].append(entry)
+        else:
+            heappush(self._heap, entry)
+        return Handle(self, entry)
 
     def schedule_at(self, when, fn, *args, priority=PRIORITY_NORMAL):
-        """Run ``fn(*args)`` at absolute simulated time ``when``."""
-        return self.schedule(when - self.now, fn, *args, priority=priority)
+        """Run ``fn(*args)`` at absolute simulated time ``when``.
+
+        Float accumulation can make a "now" computed as a sum of deltas
+        land a hair before ``self.now``; such sub-epsilon negative delays
+        are clamped to zero rather than rejected.
+        """
+        delay = when - self.now
+        if delay < 0 and -delay <= 1e-9 * max(1.0, abs(self.now)):
+            delay = 0.0
+        return self.schedule(delay, fn, *args, priority=priority)
 
     def call_soon(self, fn, *args, priority=PRIORITY_NORMAL):
         """Run ``fn(*args)`` at the current time, after pending same-time work."""
         return self.schedule(0.0, fn, *args, priority=priority)
+
+    def _soon(self, fn, args):
+        """Handle-less :meth:`call_soon` for callback delivery (hot path).
+
+        Entries created here are never referenced by a :class:`Handle`,
+        so their list objects are recycled through ``self._pool`` after
+        dispatch instead of being reallocated per event.
+        """
+        if not self._fast:
+            self.schedule(0.0, fn, *args)
+            return
+        pool = self._pool
+        if pool:
+            entry = pool.pop()
+            entry[0] = self.now
+            entry[2] = next(self._seq)
+            entry[3] = args
+            entry[4] = fn
+        else:
+            entry = [self.now, PRIORITY_NORMAL, next(self._seq), args, fn, True]
+        self._lanes[PRIORITY_NORMAL].append(entry)
+
+    def _note_cancel(self):
+        """Lazily purge cancelled entries once they dominate the heap."""
+        self._cancelled += 1
+        heap = self._heap
+        if self._cancelled >= _PURGE_MIN_CANCELLED and self._cancelled * 2 >= len(heap):
+            # In-place so dispatch loops holding a reference stay valid.
+            heap[:] = [entry for entry in heap if entry[4] is not None]
+            heapify(heap)
+            self._cancelled = 0
 
     # ------------------------------------------------------------------
     # waitable factories
@@ -248,44 +337,157 @@ class Simulator:
     # running
     # ------------------------------------------------------------------
 
-    def peek(self):
-        """Time of the next pending event, or ``None`` if the heap is empty."""
+    def _select_live(self):
+        """The next live entry and its container, without removing it.
+
+        Discards cancelled entries blocking the lane heads and the heap
+        top as a side effect.  Returns ``(entry, lane)`` where ``lane``
+        is the owning deque, or ``(entry, None)`` for a heap entry, or
+        ``(None, None)`` when nothing is pending.
+        """
+        candidate = None
+        source = None
+        for lane in self._lanes:
+            while lane:
+                entry = lane[0]
+                if entry[4] is None:
+                    lane.popleft()
+                    continue
+                break
+            else:
+                continue
+            # Lanes are checked in priority order and all lane entries
+            # share the same timestamp, so the first live head wins.
+            candidate = entry
+            source = lane
+            break
         heap = self._heap
         while heap and heap[0][4] is None:
-            heapq.heappop(heap)
-        return heap[0][0] if heap else None
+            heappop(heap)
+        if heap:
+            top = heap[0]
+            if candidate is None:
+                candidate = top
+                source = None
+            else:
+                when = top[0]
+                due = candidate[0]
+                if when < due or (
+                    when == due and (top[1], top[2]) < (candidate[1], candidate[2])
+                ):
+                    candidate = top
+                    source = None
+        return candidate, source
+
+    def _pop_live(self):
+        """Remove and return the next live entry, or ``None`` if idle."""
+        entry, lane = self._select_live()
+        if entry is None:
+            return None
+        if lane is not None:
+            lane.popleft()
+        else:
+            heappop(self._heap)
+        return entry
+
+    def _dispatch(self, entry):
+        when = entry[0]
+        if when < self.now:
+            raise SimError("time went backwards: {} < {}".format(when, self.now))
+        self.now = when
+        entry[4](*entry[3])
+        if entry[5]:
+            entry[3] = entry[4] = None
+            if len(self._pool) < _POOL_LIMIT:
+                self._pool.append(entry)
+
+    def peek(self):
+        """Time of the next pending event, or ``None`` if nothing is queued."""
+        entry, _lane = self._select_live()
+        return entry[0] if entry is not None else None
 
     def step(self):
         """Process exactly one pending event.  Returns False if none remain."""
-        heap = self._heap
-        while heap:
-            when, _prio, _seq, args, fn = heapq.heappop(heap)
-            if fn is None:
-                continue
-            if when < self.now:
-                raise SimError("time went backwards: {} < {}".format(when, self.now))
-            self.now = when
-            fn(*args)
-            return True
-        return False
+        entry = self._pop_live()
+        if entry is None:
+            return False
+        self._dispatch(entry)
+        return True
 
     def run(self, until=None):
-        """Run until the heap drains or ``until`` (absolute time) is reached.
+        """Run until the queues drain or ``until`` (absolute time) is reached.
 
         When ``until`` is given the clock is advanced exactly to it even if
-        the heap drained earlier, so back-to-back ``run(until=...)`` calls
+        the queues drained earlier, so back-to-back ``run(until=...)`` calls
         observe a monotonically advancing clock.
         """
         if self._running:
             raise SimError("simulator is already running (re-entrant run())")
         self._running = True
         try:
+            # The drain loop is the single hottest region in the whole
+            # reproduction; it inlines _select_live/_dispatch and binds
+            # containers to locals (see benchmarks/test_bench_engine.py).
             heap = self._heap
-            while heap:
-                when = heap[0][0]
+            lane0, lane1, lane2 = self._lanes
+            pool = self._pool
+            while True:
+                if lane0:
+                    entry = lane0[0]
+                    if entry[4] is None:
+                        lane0.popleft()
+                        continue
+                    lane = lane0
+                elif lane1:
+                    entry = lane1[0]
+                    if entry[4] is None:
+                        lane1.popleft()
+                        continue
+                    lane = lane1
+                elif lane2:
+                    entry = lane2[0]
+                    if entry[4] is None:
+                        lane2.popleft()
+                        continue
+                    lane = lane2
+                else:
+                    entry = None
+                    lane = None
+                while heap and heap[0][4] is None:
+                    heappop(heap)
+                if heap:
+                    top = heap[0]
+                    if entry is None:
+                        entry = top
+                        lane = None
+                    else:
+                        when = top[0]
+                        due = entry[0]
+                        if when < due or (
+                            when == due
+                            and (top[1], top[2]) < (entry[1], entry[2])
+                        ):
+                            entry = top
+                            lane = None
+                if entry is None:
+                    break
+                when = entry[0]
                 if until is not None and when > until:
                     break
-                self.step()
+                if lane is not None:
+                    lane.popleft()
+                else:
+                    heappop(heap)
+                if when < self.now:
+                    raise SimError(
+                        "time went backwards: {} < {}".format(when, self.now)
+                    )
+                self.now = when
+                entry[4](*entry[3])
+                if entry[5]:
+                    entry[3] = entry[4] = None
+                    if len(pool) < _POOL_LIMIT:
+                        pool.append(entry)
             if until is not None:
                 if until < self.now:
                     raise SimError(

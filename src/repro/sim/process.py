@@ -32,7 +32,7 @@ class Process(Waitable):
         self._gen = generator
         self._target = None
         self._started = False
-        sim.call_soon(self._start)
+        sim._soon(self._start, ())
 
     def __repr__(self):
         state = "done" if self.triggered else ("waiting" if self._target else "new")
@@ -93,7 +93,7 @@ class Process(Waitable):
         """
         if self.triggered:
             return
-        self.sim.call_soon(self._deliver_interrupt, cause)
+        self.sim._soon(self._deliver_interrupt, (cause,))
 
     def _deliver_interrupt(self, cause):
         if self.triggered:

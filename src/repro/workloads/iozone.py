@@ -13,7 +13,6 @@ NFSv2-era synchronous writes.
 
 from dataclasses import dataclass, field
 
-from repro.apps.nfs import protocol
 from repro.apps.nfs.client import NfsMount
 
 

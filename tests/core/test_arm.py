@@ -1,6 +1,5 @@
 """ARM-token correlation for interleaved request streams."""
 
-import pytest
 
 from repro.cluster import Cluster
 from repro.core import SysProf, SysProfConfig

@@ -1,6 +1,5 @@
 """Client-class accounting: per-customer aggregation at the LPA."""
 
-import pytest
 
 from repro.cluster import Cluster
 from repro.core import SysProf, SysProfConfig

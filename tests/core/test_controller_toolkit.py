@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cluster import Cluster
-from repro.core import SysProf, SysProfConfig
+from repro.core import SysProf
 from repro.ossim.tracepoints import NULL_TRACEPOINTS
 from tests.core.helpers import build_monitored_pair, drive_traffic, request_client
 

@@ -137,3 +137,75 @@ def test_stats_shape(kprof):
     stats = kprof.stats()
     assert stats["fired"] == {tp.SYSCALL_ENTRY: 1}
     assert tp.SYSCALL_ENTRY in stats["subscribed_types"]
+
+
+def test_fired_equals_delivered_plus_suppressed(kprof):
+    """Per-attempt accounting: every (event, subscription) attempt is
+    either delivered or suppressed, never double- or un-counted."""
+    seen = []
+    kprof.subscribe([tp.SYSCALL_ENTRY], seen.append)
+    kprof.subscribe(
+        [tp.SYSCALL_ENTRY], seen.append, predicate=pid_predicate([42])
+    )
+    kprof.fire(tp.SYSCALL_ENTRY, pid=41)  # one delivered, one suppressed
+    kprof.fire(tp.SYSCALL_ENTRY, pid=42)  # two delivered
+    stats = kprof.stats()
+    assert stats["fired"] == {tp.SYSCALL_ENTRY: 4}
+    assert stats["delivered"] == 3
+    assert stats["suppressed"] == 1
+    assert len(seen) == 3
+
+
+def test_all_predicates_reject_without_building_event(kprof, monkeypatch):
+    """Fields-only predicates reject on the raw payload dict; when every
+    subscriber rejects, no MonEvent (or clock read) is ever built."""
+    kprof.subscribe(
+        [tp.SYSCALL_ENTRY], lambda e: None, predicate=pid_predicate([42])
+    )
+
+    def boom(*_args):
+        raise AssertionError("MonEvent built for a fully-suppressed fire")
+
+    monkeypatch.setattr(kprof, "_make_event", boom)
+    kprof.fire(tp.SYSCALL_ENTRY, pid=7)
+    assert kprof.events_suppressed == 1
+    assert kprof.events_delivered == 0
+
+
+def test_opaque_predicate_still_gets_monevent(kprof):
+    """Hand-written predicates (no fields_only flag) see the MonEvent."""
+    seen = []
+
+    def wants_node(event):
+        return event.node == "n1"
+
+    kprof.subscribe([tp.SYSCALL_ENTRY], seen.append, predicate=wants_node)
+    kprof.fire(tp.SYSCALL_ENTRY, pid=7)
+    assert len(seen) == 1
+
+
+def test_helper_predicates_are_fields_only():
+    assert pid_predicate([1]).fields_only
+    assert exclude_port_range(1, 2).fields_only
+    assert field_predicate("call", ["read"]).fields_only
+    assert all_of(pid_predicate([1]), field_predicate("x", [1])).fields_only
+    assert not all_of(pid_predicate([1]), lambda e: True).fields_only
+
+
+def test_unsubscribe_during_fire_keeps_snapshot(kprof):
+    """Copy-on-write: mutating subscriptions mid-delivery affects the
+    *next* fire, not the one in flight."""
+    seen = []
+    sub_b = kprof.subscribe([tp.SYSCALL_ENTRY], lambda e: seen.append("b"))
+
+    def kill_b(_event):
+        seen.append("a")
+        kprof.unsubscribe(sub_b)
+
+    kprof.subscribe([tp.SYSCALL_ENTRY], kill_b)
+    # NB: kill_b was subscribed after sub_b, so "b" delivers first; the
+    # second event must not reach b at all.
+    kprof.fire(tp.SYSCALL_ENTRY, pid=1)
+    kprof.fire(tp.SYSCALL_ENTRY, pid=1)
+    assert seen == ["b", "a", "a"]
+    kprof.stats()  # invariant still holds after mid-fire mutation

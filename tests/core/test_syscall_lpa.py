@@ -1,6 +1,5 @@
 """Per-syscall activity tracking (the paper's finest activity granularity)."""
 
-import pytest
 
 from repro.core import SysProfConfig
 from tests.core.helpers import build_monitored_pair, drive_traffic

@@ -1,6 +1,5 @@
 """Failure detection from telemetry staleness at the GPA."""
 
-import pytest
 
 from repro.cluster import Cluster
 from repro.core import SysProf, SysProfConfig

@@ -1,11 +1,9 @@
 """Failure injection: lossy links, dead analyzers, overloaded daemons."""
 
-import pytest
 
 from repro.cluster import Cluster
-from repro.core import SysProf, SysProfConfig
+from repro.core import SysProfConfig
 from repro.netsim import Address, Packet
-from repro.sim import RandomStreams
 from tests.core.helpers import build_monitored_pair, drive_traffic, echo_server
 
 

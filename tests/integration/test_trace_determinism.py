@@ -1,0 +1,91 @@
+"""Trace-hash determinism across the fast lane and the parallel runner.
+
+The hard constraint on every engine optimization: same seed => byte
+identical GPA traces.  These tests hash the full interaction trace of
+the NFS and RUBiS experiments and require the hash to survive (a) a
+re-run, (b) disabling the same-time fast lane, and (c) fanning the sweep
+out over worker processes.
+"""
+
+import pytest
+
+from repro.experiments import run_points
+from repro.experiments.nfs_storage import (
+    NfsExperimentConfig,
+    _sweep_point,
+    run_nfs_experiment,
+    run_thread_sweep,
+)
+from repro.experiments.rubis_qos import (
+    RubisExperimentConfig,
+    run_rubis_experiment,
+)
+from repro.sim import engine as engine_mod
+
+NFS_CONFIG = NfsExperimentConfig(
+    thread_counts=(1, 2), ops_per_thread=6, rewrite=False, sim_limit=200.0
+)
+
+RUBIS_CONFIG = RubisExperimentConfig(
+    duration=5.0, load_at=2.5, rate_per_class=80.0, sessions_per_class=8,
+    slots_per_servlet=8,
+)
+
+
+@pytest.fixture(scope="module")
+def nfs_baseline():
+    return [
+        run_nfs_experiment(threads, NFS_CONFIG).trace_hash
+        for threads in NFS_CONFIG.thread_counts
+    ]
+
+
+def test_nfs_trace_hash_repeatable(nfs_baseline):
+    again = run_nfs_experiment(1, NFS_CONFIG).trace_hash
+    assert again == nfs_baseline[0]
+    assert all(nfs_baseline)  # non-empty hashes
+
+
+def test_nfs_trace_hash_identical_without_fast_lane(nfs_baseline, monkeypatch):
+    monkeypatch.setattr(engine_mod, "DEFAULT_FAST_LANE", False)
+    slow = run_nfs_experiment(1, NFS_CONFIG).trace_hash
+    assert slow == nfs_baseline[0]
+
+
+def test_nfs_trace_hash_identical_under_jobs(nfs_baseline):
+    parallel = run_thread_sweep(NFS_CONFIG, jobs=4)
+    assert [result.trace_hash for result in parallel] == nfs_baseline
+
+
+def test_nfs_worker_entry_point_matches_direct_call(nfs_baseline):
+    assert _sweep_point((2, NFS_CONFIG)).trace_hash == nfs_baseline[1]
+
+
+@pytest.fixture(scope="module")
+def rubis_baseline():
+    return run_rubis_experiment("dwcs", RUBIS_CONFIG).trace_hash
+
+
+def test_rubis_trace_hash_repeatable(rubis_baseline):
+    assert rubis_baseline
+    again = run_rubis_experiment("dwcs", RUBIS_CONFIG).trace_hash
+    assert again == rubis_baseline
+
+
+def test_rubis_trace_hash_identical_without_fast_lane(rubis_baseline, monkeypatch):
+    monkeypatch.setattr(engine_mod, "DEFAULT_FAST_LANE", False)
+    slow = run_rubis_experiment("dwcs", RUBIS_CONFIG).trace_hash
+    assert slow == rubis_baseline
+
+
+def test_rubis_trace_hash_identical_under_jobs(rubis_baseline):
+    from repro.experiments.rubis_qos import _comparison_point
+
+    parallel = run_points(
+        _comparison_point,
+        [("dwcs", RUBIS_CONFIG, True), ("radwcs", RUBIS_CONFIG, True)],
+        jobs=2,
+    )
+    assert parallel[0].trace_hash == rubis_baseline
+    # The radwcs run is a different schedule; its trace must differ.
+    assert parallel[1].trace_hash != rubis_baseline

@@ -6,7 +6,6 @@ from repro.sim import (
     PRIORITY_INTERRUPT,
     PRIORITY_LOW,
     SimError,
-    Simulator,
 )
 
 

@@ -12,7 +12,6 @@ from hypothesis.stateful import (
     precondition,
     rule,
 )
-import hypothesis.strategies as st
 
 from repro.sim import Resource, Simulator, Store
 
