@@ -1,0 +1,204 @@
+"""Dissemination-path throughput: encode, decode, and publish rates.
+
+Like the engine benchmark, this one measures the *toolkit itself* — the
+PBIO encode/decode hot path every monitored node pushes its records
+through.  The batched frame path (cached multi-record packers, one
+header per frame, preordered rows) must beat the seed's per-record
+dict-packing baseline by at least 2x on encode, and the streaming frame
+decoder must beat per-record decoding by at least 1.5x.  Both paths stay
+runtime-selectable (``SysProfConfig(frame_dissemination=...)``), so the
+end-to-end section times a real monitored client/server run per mode.
+
+Results land in ``BENCH_dissemination.json`` at the repo root; see
+docs/performance.md ("Dissemination path") for how to read it.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.core import encoding
+from repro.core.lpa import INTERACTION_FORMAT
+
+from benchmarks.conftest import SMOKE, report
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_dissemination.json"
+
+#: Records per encoded batch (a few coalesced eviction cycles' worth).
+N_RECORDS = 500 if SMOKE else 4000
+#: Timed repetitions per round; rates are computed over the whole loop.
+REPEAT = 2 if SMOKE else 5
+ROUNDS = 2 if SMOKE else 5
+#: Requests driven through the end-to-end monitored pair.
+N_REQUESTS = 10 if SMOKE else 40
+#: Smoke floors are sanity checks, not calibrated bounds — CI runners
+#: are too noisy for tight perf assertions on short runs.
+ENCODE_FLOOR = 1.3 if SMOKE else 2.0
+DECODE_FLOOR = 1.1 if SMOKE else 1.5
+
+
+def _registry():
+    registry = encoding.FormatRegistry()
+    fmt = registry.register(*INTERACTION_FORMAT)
+    return registry, fmt
+
+
+def _make_records(n):
+    """Synthesize realistic interaction dicts (varying ids, ips, classes)."""
+    records = []
+    for i in range(n):
+        records.append({
+            "interaction_id": i,
+            "node": "server{}".format(i % 4),
+            "client_ip": "10.0.0.{}".format(i % 250),
+            "client_port": 40000 + (i % 1000),
+            "server_ip": "10.0.1.7",
+            "server_port": 8080,
+            "start_ts": 0.5 + i * 1e-4,
+            "end_ts": 0.5 + i * 1e-4 + 3.2e-3,
+            "req_packets": 4,
+            "req_bytes": 10000 + i,
+            "resp_packets": 3,
+            "resp_bytes": 3000,
+            "kernel_wait": 1.5e-4,
+            "kernel_cpu": 2.0e-4,
+            "kernel_time": 3.5e-4,
+            "user_time": 2.0e-3,
+            "io_blocked": 0.0,
+            "ctx_switches": 6,
+            "disk_ops": i % 3,
+            "server_pid": 1200 + (i % 16),
+            "server_name": "echo-srv",
+            "request_class": ("query", "update", "commit")[i % 3],
+            "total_latency": 3.2e-3,
+        })
+    return records
+
+
+def _rate(fn):
+    """Best-of-N records/sec for ``fn`` run over one synthesized batch."""
+    best = 0.0
+    for _ in range(ROUNDS):
+        started = time.perf_counter()
+        for _ in range(REPEAT):
+            fn()
+        elapsed = time.perf_counter() - started
+        best = max(best, N_RECORDS * REPEAT / elapsed)
+    return best
+
+
+def _publish_rate(frame_mode):
+    """End-to-end records/sec of wall clock through a monitored pair."""
+    from repro.core import SysProfConfig
+    from tests.core.helpers import build_monitored_pair, drive_traffic
+
+    config = SysProfConfig(
+        eviction_interval=0.05, frame_dissemination=frame_mode
+    )
+    started = time.perf_counter()
+    cluster, sysprof = build_monitored_pair(config=config)
+    drive_traffic(cluster, sysprof, count=N_REQUESTS)
+    elapsed = time.perf_counter() - started
+    daemon = sysprof.monitor("server").daemon
+    published = daemon.records_published
+    assert published > 0
+    assert len(sysprof.gpa.interactions) > 0
+    return published / elapsed
+
+
+def test_dissemination_frame_speedup():
+    registry, fmt = _registry()
+    dicts = _make_records(N_RECORDS)
+    rows = [tuple(record[name] for name in fmt.names) for record in dicts]
+    blob_records = encoding.encode_records(fmt, dicts)
+    blob_frame = encoding.encode_frame(fmt, rows)
+    # Same record images either way; only the 8-byte header differs.
+    assert len(blob_records) == len(blob_frame)
+
+    # Encode: the seed's path packed dicts one struct.pack at a time.
+    encode_dict_rate = _rate(lambda: encoding.encode_records(fmt, dicts))
+    encode_row_rate = _rate(lambda: encoding.encode_records(fmt, rows))
+    encode_frame_rate = _rate(lambda: encoding.encode_frame(fmt, rows))
+
+    # Decode: per-record header walk vs whole-frame chunked unpack.
+    decode_record_rate = _rate(lambda: encoding.decode_records(registry, blob_records))
+    decode_frame_rate = _rate(lambda: encoding.decode_frame(registry, blob_frame))
+
+    publish_record_rate = _publish_rate(frame_mode=False)
+    publish_frame_rate = _publish_rate(frame_mode=True)
+
+    encode_speedup = encode_frame_rate / encode_dict_rate
+    decode_speedup = decode_frame_rate / decode_record_rate
+
+    if not SMOKE:  # smoke runs never rewrite the recorded numbers
+        payload = {
+            "schema": "sysprof-repro/bench-dissemination/v1",
+            "format": fmt.name,
+            "record_size_bytes": fmt.record_size,
+            "records_per_batch": N_RECORDS,
+            "encode": {
+                "records_per_sec_per_record_dicts": round(encode_dict_rate),
+                "records_per_sec_per_record_rows": round(encode_row_rate),
+                "records_per_sec_frame_rows": round(encode_frame_rate),
+                "speedup_frame_vs_per_record_dicts": round(encode_speedup, 3),
+            },
+            "decode": {
+                "records_per_sec_per_record": round(decode_record_rate),
+                "records_per_sec_frame": round(decode_frame_rate),
+                "speedup_frame_vs_per_record": round(decode_speedup, 3),
+            },
+            "end_to_end": {
+                "workload": "monitored echo pair, {} requests".format(N_REQUESTS),
+                "published_per_wall_sec_per_record_mode": round(publish_record_rate),
+                "published_per_wall_sec_frame_mode": round(publish_frame_rate),
+            },
+        }
+        BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    report(
+        "dissemination throughput (written to BENCH_dissemination.json)",
+        ("metric", "records per second"),
+        [
+            ("encode: per-record blobs, dict records (seed)", encode_dict_rate),
+            ("encode: per-record blobs, preordered rows", encode_row_rate),
+            ("encode: frames, preordered rows", encode_frame_rate),
+            ("decode: per-record blobs", decode_record_rate),
+            ("decode: frames", decode_frame_rate),
+            ("end-to-end publish: per-record mode", publish_record_rate),
+            ("end-to-end publish: frame mode", publish_frame_rate),
+        ],
+        notes=(
+            "frame encode speedup: {:.2f}x (required >= {:.2f}x)".format(
+                encode_speedup, ENCODE_FLOOR
+            ),
+            "frame decode speedup: {:.2f}x (required >= {:.2f}x)".format(
+                decode_speedup, DECODE_FLOOR
+            ),
+        ),
+    )
+    assert encode_frame_rate >= ENCODE_FLOOR * encode_dict_rate, (
+        "frame encode {:.0f} rec/s vs per-record {:.0f} rec/s".format(
+            encode_frame_rate, encode_dict_rate
+        )
+    )
+    assert decode_frame_rate >= DECODE_FLOOR * decode_record_rate, (
+        "frame decode {:.0f} rec/s vs per-record {:.0f} rec/s".format(
+            decode_frame_rate, decode_record_rate
+        )
+    )
+    # Rows alone (no frame) must already beat dict packing.
+    assert encode_row_rate > encode_dict_rate
+
+
+def test_frame_roundtrip_matches_per_record():
+    """Both wire layouts decode to identical record contents."""
+    registry, fmt = _registry()
+    dicts = _make_records(64)
+    rows = [tuple(record[name] for name in fmt.names) for record in dicts]
+    _, from_records = encoding.decode_records(
+        registry, encoding.encode_records(fmt, dicts)
+    )
+    _, from_frame = encoding.decode_frame(
+        registry, encoding.encode_frame(fmt, rows)
+    )
+    assert [fmt.row_to_dict(row) for row in from_frame] == from_records

@@ -20,16 +20,21 @@ from repro.core.kprof import Kprof, exclude_port_range
 from repro.ossim import tracepoints as tp
 from repro.sim.engine import Simulator, Waitable
 
+from benchmarks.conftest import SMOKE
+
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 
 #: Callback deliveries per engine measurement.
-N_EVENTS = 150_000
+N_EVENTS = 15_000 if SMOKE else 150_000
 #: Future timers parked in the heap while callbacks churn, as in a real
 #: cluster run (retransmit timers, eviction ticks, load injectors).
 STANDING_TIMERS = 1000
 #: Tracepoint hits per Kprof measurement.
-N_FIRES = 200_000
-ROUNDS = 3
+N_FIRES = 50_000 if SMOKE else 200_000
+ROUNDS = 2 if SMOKE else 3
+#: Smoke mode checks the fast lane wins at all, not the calibrated 1.5x —
+#: CI runners are too noisy for a tight perf bound on a short run.
+SPEEDUP_FLOOR = 1.05 if SMOKE else 1.5
 
 
 def _engine_rate(fast_lane):
@@ -93,24 +98,25 @@ def test_engine_fast_lane_speedup():
     # MonEvent construction entirely, so this path is the fastest.
     suppress_rate = _kprof_rate(predicate=exclude_port_range(5000, 5999))
 
-    payload = {
-        "schema": "sysprof-repro/bench-engine/v1",
-        "engine": {
-            "workload": "waitable callback chain, {} standing timers".format(
-                STANDING_TIMERS
-            ),
-            "events": N_EVENTS,
-            "events_per_sec_heap_baseline": round(heap_rate),
-            "events_per_sec_fast_lane": round(fast_rate),
-            "speedup": round(fast_rate / heap_rate, 3),
-        },
-        "kprof": {
-            "fires": N_FIRES,
-            "fires_per_sec_delivered": round(deliver_rate),
-            "fires_per_sec_all_suppressed": round(suppress_rate),
-        },
-    }
-    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    if not SMOKE:  # smoke runs never rewrite the recorded numbers
+        payload = {
+            "schema": "sysprof-repro/bench-engine/v1",
+            "engine": {
+                "workload": "waitable callback chain, {} standing timers".format(
+                    STANDING_TIMERS
+                ),
+                "events": N_EVENTS,
+                "events_per_sec_heap_baseline": round(heap_rate),
+                "events_per_sec_fast_lane": round(fast_rate),
+                "speedup": round(fast_rate / heap_rate, 3),
+            },
+            "kprof": {
+                "fires": N_FIRES,
+                "fires_per_sec_delivered": round(deliver_rate),
+                "fires_per_sec_all_suppressed": round(suppress_rate),
+            },
+        }
+        BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 
     from benchmarks.conftest import report
 
@@ -123,11 +129,13 @@ def test_engine_fast_lane_speedup():
             ("kprof fires/sec (delivered)", deliver_rate),
             ("kprof fires/sec (all suppressed)", suppress_rate),
         ],
-        notes=("fast lane speedup: {:.2f}x (required >= 1.5x)".format(
-            fast_rate / heap_rate
+        notes=("fast lane speedup: {:.2f}x (required >= {:.2f}x)".format(
+            fast_rate / heap_rate, SPEEDUP_FLOOR
         ),),
     )
-    assert fast_rate >= 1.5 * heap_rate, (
+    assert fast_rate >= SPEEDUP_FLOOR * heap_rate, (
         "fast lane {:.0f} ev/s vs heap {:.0f} ev/s".format(fast_rate, heap_rate)
     )
-    assert suppress_rate > deliver_rate
+    # Suppression skips MonEvent construction entirely, so it must win;
+    # smoke runs only sanity-check it is not dramatically slower.
+    assert suppress_rate > (0.8 if SMOKE else 1.0) * deliver_rate

@@ -9,7 +9,11 @@ from repro.core.daemon import DisseminationDaemon
 from repro.core.ecode import ECodeError, ECodeProgram
 from repro.core.encoding import (
     FormatRegistry,
+    FrameDecoder,
+    RecordView,
+    decode_frame,
     decode_records,
+    encode_frame,
     encode_records,
     encode_text,
 )
@@ -49,6 +53,8 @@ __all__ = [
     "ECodeProgram",
     "EventLog",
     "FormatRegistry",
+    "FrameDecoder",
+    "RecordView",
     "GpaQueryClient",
     "GpaQueryError",
     "GlobalPerformanceAnalyzer",
@@ -67,7 +73,9 @@ __all__ = [
     "SyscallLPA",
     "SysProfConfig",
     "all_of",
+    "decode_frame",
     "decode_records",
+    "encode_frame",
     "encode_records",
     "encode_text",
     "exclude_port_range",

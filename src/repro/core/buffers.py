@@ -79,6 +79,21 @@ class DoubleBuffer:
         self._drained[index] = True
         return records
 
+    def drain_into(self, index, out):
+        """Drain buffer ``index`` by appending its records to ``out``.
+
+        The daemon's frame path coalesces several drains into one shared
+        per-channel list; extending it directly skips the intermediate
+        list that :meth:`drain` would allocate.  Returns the number of
+        records drained.
+        """
+        records = self._buffers[index]
+        count = len(records)
+        out.extend(records)
+        records.clear()
+        self._drained[index] = True
+        return count
+
     def stats(self):
         return {
             "appended": self.records_appended,

@@ -84,15 +84,8 @@ class CustomAnalyzer(LocalPerformanceAnalyzer):
     def evict(self):
         now = self.kernel.clock.local_time(self.kernel.sim.now)
         for key, value in sorted(self.metrics().items()):
-            self.buffer.append(
-                {
-                    "node": self.kernel.name,
-                    "analyzer": self.name,
-                    "ts": now,
-                    "key": key,
-                    "value": value,
-                }
-            )
+            # Preordered row: CPA_FORMAT field order.
+            self.buffer.append((self.kernel.name, self.name, now, key, value))
         return super().evict()
 
     def stats(self):

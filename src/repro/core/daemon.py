@@ -11,6 +11,22 @@ publish-subscribe channels."
 The daemon also exports every analyzer's state through /proc (as the
 earlier Dproc system did) and drives the periodic eviction timer that
 flushes partially-filled buffers and samples node statistics.
+
+Two dissemination modes are runtime-selectable:
+
+* **frame mode** (default): every wakeup coalesces all drained LPA
+  buffers into one multi-record *frame* per channel, packed through the
+  cached per-format packers (see :mod:`repro.core.encoding`).  The
+  ``data_filter`` is pushed down to run right after each drain, so
+  filtered records never pay any encode cost.
+* **per-record mode** (``frame_mode=False``): the original path — one
+  blob per drained buffer, one ``struct.pack`` per record.  Kept as the
+  baseline the dissemination benchmark measures against.
+
+Simulated CPU is charged identically in both modes at the default
+calibration: ``record_copy`` per drained record, then
+``frame_encode_base + record_encode * n`` per frame (the base defaults
+to zero), so same-seed traces are bit-identical across modes.
 """
 
 from repro.core import encoding
@@ -23,7 +39,7 @@ class DisseminationDaemon:
 
     def __init__(self, node, hub, registry=None, eviction_interval=0.25,
                  name="sysprofd", channel_prefix="sysprof/", data_filter=None,
-                 text_encoding=False, affinity=None):
+                 text_encoding=False, affinity=None, frame_mode=True):
         self.node = node
         self.hub = hub
         self.registry = registry or encoding.FormatRegistry()
@@ -33,16 +49,23 @@ class DisseminationDaemon:
         self.data_filter = data_filter  # optional record-level filter fn
         self.text_encoding = text_encoding  # ablation: ship repr() text
         self.affinity = affinity  # pin to a dedicated analysis core (SMP)
+        self.frame_mode = frame_mode  # batched frames vs per-record blobs
         self.lpas = []
         self._by_buffer = {}
         self._notifications = Store(node.sim)
         self._sockets = {}  # (node_name, port) -> socket
-        self._formats_sent = set()  # (endpoint, format name)
+        # endpoint -> (socket, {format names sent on that socket}).  Keyed
+        # by socket *identity*: a reconnected endpoint gets a fresh set,
+        # so the new peer connection re-learns every format descriptor.
+        self._formats_sent = {}
         self.task = None
         self.records_published = 0
         self.records_filtered = 0
         self.bytes_published = 0
         self.publishes = 0
+        self.frames_published = 0
+        self.format_sends = 0
+        self.send_errors = 0
         self._stopped = False
 
     # ------------------------------------------------------------------
@@ -76,6 +99,15 @@ class DisseminationDaemon:
     def stop(self):
         self._stopped = True
 
+    def reset_endpoint(self, endpoint):
+        """Forget a subscriber's socket (peer restart / connection loss).
+
+        The next publish reconnects; the socket-identity check in
+        :meth:`_ensure_format_sent` then re-sends every format descriptor
+        on the fresh connection.
+        """
+        self._sockets.pop(endpoint, None)
+
     # ------------------------------------------------------------------
 
     def _run(self, ctx):
@@ -107,54 +139,160 @@ class DisseminationDaemon:
                 if not ok:
                     break
                 batches.append(item)
-            for buffer, index in batches:
-                lpa = self._by_buffer.get(id(buffer))
-                if lpa is None:
-                    continue
-                records = buffer.drain(index)
-                if not records:
-                    continue
-                yield from self._publish(ctx, lpa, records)
+            if not batches:
+                continue
+            if self.frame_mode:
+                yield from self._publish_frames(ctx, batches)
+            else:
+                for buffer, index in batches:
+                    lpa = self._by_buffer.get(id(buffer))
+                    if lpa is None:
+                        continue
+                    records = buffer.drain(index)
+                    if not records:
+                        continue
+                    yield from self._publish(ctx, lpa, records)
         return "stopped"
+
+    # ------------------------------------------------------------------
+    # filtering (pushed down ahead of any encode cost)
+    # ------------------------------------------------------------------
+
+    def _apply_filter(self, lpa, fmt, records):
+        """Run ``data_filter`` before encoding: dropped records never pay
+        ``record_encode``.  Row records are exposed through a reusable
+        dict-like :class:`~repro.core.encoding.RecordView`."""
+        data_filter = self.data_filter
+        if data_filter is None:
+            return records
+        view = encoding.RecordView(fmt)
+        kept = []
+        append = kept.append
+        for record in records:
+            probe = record if isinstance(record, dict) else view.bind(record)
+            if data_filter(lpa.name, probe):
+                append(record)
+        self.records_filtered += len(records) - len(kept)
+        return kept
+
+    # ------------------------------------------------------------------
+    # frame mode: coalesce all drains into one frame per channel
+    # ------------------------------------------------------------------
+
+    def _publish_frames(self, ctx, batches):
+        costs = self.node.kernel.costs
+        groups = {}  # fmt_name -> (fmt, [records])
+        order = []
+        for buffer, index in batches:
+            lpa = self._by_buffer.get(id(buffer))
+            if lpa is None:
+                continue
+            fmt_name, fmt_fields = lpa.record_format
+            group = groups.get(fmt_name)
+            if group is None:
+                fmt = self.registry.register(fmt_name, fmt_fields)
+                group = groups[fmt_name] = (fmt, [])
+                order.append(fmt_name)
+            fmt, coalesced = group
+            if self.data_filter is None:
+                drained = buffer.drain_into(index, coalesced)
+            else:
+                records = buffer.drain(index)
+                drained = len(records)
+                coalesced.extend(self._apply_filter(lpa, fmt, records))
+            if drained:
+                # Copy records out of the per-CPU buffer (same physical
+                # cost as the per-record path charges).
+                yield from ctx.kcompute(costs.record_copy * drained)
+        for fmt_name in order:
+            fmt, records = groups[fmt_name]
+            if not records:
+                continue
+            count = len(records)
+            yield from ctx.kcompute(
+                costs.frame_encode_base + costs.record_encode * count
+            )
+            if self.text_encoding:
+                blob = encoding.encode_text(records, fmt)
+                # Text rendering costs an extra multiple per record.
+                yield from ctx.kcompute(
+                    costs.record_encode * costs.text_encode_multiplier * count
+                )
+                yield from self._send(ctx, fmt, blob, "sysprof-data", text=True)
+            else:
+                blob = encoding.encode_frame(fmt, records)
+                yield from self._send(ctx, fmt, blob, "sysprof-frame")
+            self.records_published += count
+
+    # ------------------------------------------------------------------
+    # per-record mode (baseline, runtime-selectable)
+    # ------------------------------------------------------------------
 
     def _publish(self, ctx, lpa, records):
         costs = self.node.kernel.costs
         # Copy records out of the per-CPU buffer.
         yield from ctx.kcompute(costs.record_copy * len(records))
-        if self.data_filter is not None:
-            kept = [r for r in records if self.data_filter(lpa.name, r)]
-            self.records_filtered += len(records) - len(kept)
-            records = kept
-            if not records:
-                return
         fmt_name, fmt_fields = lpa.record_format
         fmt = self.registry.register(fmt_name, fmt_fields)
+        records = self._apply_filter(lpa, fmt, records)
+        if not records:
+            return
         yield from ctx.kcompute(costs.record_encode * len(records))
         if self.text_encoding:
-            blob = encoding.encode_text(records)
+            blob = encoding.encode_text(records, fmt)
             # Text encoding is an order of magnitude costlier to produce.
-            yield from ctx.kcompute(costs.record_encode * 9 * len(records))
+            yield from ctx.kcompute(
+                costs.record_encode * costs.text_encode_multiplier * len(records)
+            )
+            yield from self._send(ctx, fmt, blob, "sysprof-data", text=True)
         else:
             blob = encoding.encode_records(fmt, records)
+            yield from self._send(ctx, fmt, blob, "sysprof-data")
         self.records_published += len(records)
-        channel = self.channel_prefix + fmt_name
+
+    # ------------------------------------------------------------------
+    # channel publication
+    # ------------------------------------------------------------------
+
+    def _send(self, ctx, fmt, blob, kind, text=False):
+        channel = self.channel_prefix + fmt.name
         for endpoint in self.hub.subscribers(channel):
             sock = yield from self._endpoint_socket(ctx, endpoint)
             if sock is None:
                 continue
-            if not self.text_encoding and (endpoint, fmt_name) not in self._formats_sent:
-                descriptor = fmt.describe()
+            try:
+                if not text:
+                    yield from self._ensure_format_sent(ctx, sock, endpoint, fmt)
                 yield from ctx.send_message(
-                    sock, len(descriptor), kind="sysprof-fmt",
-                    meta={"blob": descriptor},
+                    sock, len(blob), kind=kind,
+                    meta={"blob": blob, "channel": channel, "text": text},
                 )
-                self._formats_sent.add((endpoint, fmt_name))
-            yield from ctx.send_message(
-                sock, len(blob), kind="sysprof-data",
-                meta={"blob": blob, "channel": channel, "text": self.text_encoding},
-            )
+            except Exception:
+                # Peer gone mid-publish: drop the socket so the next
+                # wakeup reconnects (and re-sends descriptors).
+                self.send_errors += 1
+                self.reset_endpoint(endpoint)
+                continue
             self.bytes_published += len(blob)
             self.publishes += 1
+            if kind == "sysprof-frame":
+                self.frames_published += 1
+
+    def _ensure_format_sent(self, ctx, sock, endpoint, fmt):
+        sent = self._formats_sent.get(endpoint)
+        if sent is None or sent[0] is not sock:
+            # New or replaced connection: the peer's decoder state died
+            # with the old socket, so start a fresh descriptor set.
+            sent = (sock, set())
+            self._formats_sent[endpoint] = sent
+        if fmt.name in sent[1]:
+            return
+        descriptor = fmt.describe()
+        yield from ctx.send_message(
+            sock, len(descriptor), kind="sysprof-fmt", meta={"blob": descriptor},
+        )
+        sent[1].add(fmt.name)
+        self.format_sends += 1
 
     def _endpoint_socket(self, ctx, endpoint):
         sock = self._sockets.get(endpoint)
@@ -174,10 +312,13 @@ class DisseminationDaemon:
     def _render_daemon(self):
         lines = [
             "daemon={} node={}".format(self.name, self.node.name),
+            "mode={}".format("frame" if self.frame_mode else "per-record"),
             "records_published={}".format(self.records_published),
             "records_filtered={}".format(self.records_filtered),
             "bytes_published={}".format(self.bytes_published),
             "publishes={}".format(self.publishes),
+            "frames_published={}".format(self.frames_published),
+            "format_sends={}".format(self.format_sends),
             "lpas={}".format(",".join(lpa.name for lpa in self.lpas)),
         ]
         return "\n".join(lines) + "\n"
@@ -188,6 +329,9 @@ class DisseminationDaemon:
             "records_filtered": self.records_filtered,
             "bytes_published": self.bytes_published,
             "publishes": self.publishes,
+            "frames_published": self.frames_published,
+            "format_sends": self.format_sends,
+            "send_errors": self.send_errors,
         }
 
 

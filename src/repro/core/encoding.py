@@ -10,13 +10,37 @@ event-channel payloads compact.  This module reproduces the discipline:
   id — no per-record field names on the wire.
 
 Supported field types: ``f64``, ``i64``, ``u32``, ``u16``, ``bool`` and
-``strN`` (fixed-width UTF-8, NUL-padded, truncated at N bytes).
+``strN`` (fixed-width UTF-8, NUL-padded, truncated at a codepoint
+boundary within N bytes).
+
+Two wire layouts share the same record image:
+
+* **per-record blobs** (:func:`encode_records`) — one header followed by
+  records packed one ``struct.pack`` call at a time.  This is the
+  original dissemination path, kept as the runtime-selectable baseline.
+* **frames** (:func:`encode_frame`) — one header carrying a record
+  *count*, then the same contiguous record images packed through a
+  cached multi-record ``struct.Struct`` (chunks of up to
+  ``_PACK_CHUNK`` records per C call) into a reusable per-format
+  ``bytearray`` scratch.  Frames are what the batched daemon ships.
+
+A record may be a ``dict`` keyed by field name or a **preordered row**:
+a sequence whose values appear in registered field order.  Rows are what
+the analyzers emit on the hot path — packing one is a flat iteration
+with zero per-record dict lookups.
 """
 
 import struct
 
-_MAGIC = 0xB10B
-_HEADER = struct.Struct("<HHI")  # magic, format_id, payload length
+_MAGIC = 0xB10B        # per-record blob
+_FRAME_MAGIC = 0xB10F  # multi-record frame
+_HEADER = struct.Struct("<HHI")        # magic, format_id, payload length
+_FRAME_HEADER = struct.Struct("<HHI")  # magic, format_id, record count
+
+#: Records per cached multi-record Struct.  Bounds both the size of the
+#: compiled format strings and the per-format packer cache (at most
+#: ``_PACK_CHUNK`` distinct remainder sizes ever get compiled).
+_PACK_CHUNK = 512
 
 _SCALAR_CODES = {"f64": "d", "i64": "q", "u32": "I", "u16": "H", "bool": "?"}
 
@@ -33,6 +57,27 @@ def _field_code(ftype):
     raise ValueError("unknown field type: {}".format(ftype))
 
 
+def _utf8_field(value, width):
+    """Encode ``value`` into at most ``width`` UTF-8 bytes.
+
+    Truncation backs up to a codepoint boundary: cutting a multibyte
+    character mid-sequence would leave an undecodable tail that the
+    reader can only render as U+FFFD.
+    """
+    if not isinstance(value, str):
+        value = str(value)
+    data = value.encode("utf-8")
+    if len(data) <= width:
+        return data
+    cut = width
+    # data[cut] is the first byte past the limit; while it is a UTF-8
+    # continuation byte (0b10xxxxxx) the character it belongs to started
+    # earlier and must be dropped whole.
+    while cut > 0 and (data[cut] & 0xC0) == 0x80:
+        cut -= 1
+    return data[:cut]
+
+
 class RecordFormat:
     """One registered format: name + ordered (field, type) pairs."""
 
@@ -40,30 +85,103 @@ class RecordFormat:
         self.format_id = format_id
         self.name = name
         self.fields = tuple((str(fname), str(ftype)) for fname, ftype in fields)
-        self._struct = struct.Struct(
-            "<" + "".join(_field_code(ftype) for _, ftype in self.fields)
+        self.names = tuple(fname for fname, _ in self.fields)
+        self._codes = "".join(_field_code(ftype) for _, ftype in self.fields)
+        self._struct = struct.Struct("<" + self._codes)
+        self._index = {fname: i for i, fname in enumerate(self.names)}
+        self._string_fields = tuple(
+            (i, int(ftype[3:]))
+            for i, (_fname, ftype) in enumerate(self.fields)
+            if ftype.startswith("str")
         )
         self._strings = frozenset(
             fname for fname, ftype in self.fields if ftype.startswith("str")
         )
-        self._bools = frozenset(
-            fname for fname, ftype in self.fields if ftype == "bool"
-        )
+        self._packers = {1: self._struct}
+        self._scratch = bytearray()
 
     @property
     def record_size(self):
         return self._struct.size
 
+    def index_of(self, fname):
+        return self._index[fname]
+
+    # ------------------------------------------------------------------
+    # packing
+    # ------------------------------------------------------------------
+
+    def packer(self, count):
+        """Cached ``struct.Struct`` covering ``count`` consecutive records."""
+        cached = self._packers.get(count)
+        if cached is None:
+            if count > _PACK_CHUNK:
+                raise ValueError(
+                    "packer count {} exceeds chunk limit {}".format(count, _PACK_CHUNK)
+                )
+            cached = self._packers[count] = struct.Struct("<" + self._codes * count)
+        return cached
+
+    def _wire_values(self, record):
+        """Flatten a dict record or preordered row into pack arguments."""
+        if isinstance(record, dict):
+            row = [record[fname] for fname in self.names]
+        else:
+            row = list(record)
+        for i, width in self._string_fields:
+            row[i] = _utf8_field(row[i], width)
+        return row
+
     def pack(self, record):
-        values = []
-        for fname, _ftype in self.fields:
-            value = record[fname]
-            if fname in self._strings:
-                value = str(value).encode("utf-8")
-            elif fname in self._bools:
-                value = bool(value)
-            values.append(value)
-        return self._struct.pack(*values)
+        """Pack one record (dict or preordered row) — the per-record path."""
+        return self._struct.pack(*self._wire_values(record))
+
+    def pack_frame_into(self, scratch, offset, records):
+        """Pack ``records`` contiguously into ``scratch`` at ``offset``.
+
+        Uses the cached multi-record packers in chunks of up to
+        ``_PACK_CHUNK`` records — one C-level ``pack_into`` per chunk
+        instead of one per record.  Rows are extended straight into one
+        flat argument list (no per-record row copy); string slots are
+        then encoded in a stride walk over the flat list.  Returns the
+        offset past the payload.
+        """
+        size = self.record_size
+        nfields = len(self.fields)
+        names = self.names
+        string_fields = self._string_fields
+        count = len(records)
+        start = 0
+        while start < count:
+            n = min(_PACK_CHUNK, count - start)
+            flat = []
+            extend = flat.extend
+            for record in records[start:start + n]:
+                if isinstance(record, dict):
+                    extend([record[fname] for fname in names])
+                else:
+                    extend(record)
+            for i, width in string_fields:
+                for base in range(i, n * nfields, nfields):
+                    value = flat[base]
+                    if type(value) is str:
+                        data = value.encode("utf-8")
+                        if len(data) > width:
+                            cut = width
+                            while cut > 0 and (data[cut] & 0xC0) == 0x80:
+                                cut -= 1
+                            data = data[:cut]
+                        flat[base] = data
+                    else:
+                        flat[base] = _utf8_field(value, width)
+            self.packer(n).pack_into(scratch, offset, *flat)
+            offset += n * size
+            start += n
+        return offset
+
+    # ------------------------------------------------------------------
+    # unpacking
+    # ------------------------------------------------------------------
 
     def unpack(self, payload):
         values = self._struct.unpack(payload)
@@ -73,6 +191,38 @@ class RecordFormat:
                 value = value.rstrip(b"\x00").decode("utf-8", "replace")
             record[fname] = value
         return record
+
+    def unpack_rows(self, payload, count):
+        """Unpack ``count`` contiguous records into preordered row tuples.
+
+        The frame fast path: one cached multi-record ``unpack_from`` per
+        chunk, then a flat slice per record — no per-record header or
+        per-record ``bytes`` objects.
+        """
+        nfields = len(self.fields)
+        size = self.record_size
+        string_fields = self._string_fields
+        rows = []
+        append = rows.append
+        offset = 0
+        start = 0
+        while start < count:
+            n = min(_PACK_CHUNK, count - start)
+            flat = self.packer(n).unpack_from(payload, offset)
+            for base in range(0, n * nfields, nfields):
+                row = flat[base:base + nfields]
+                if string_fields:
+                    row = list(row)
+                    for i, _width in string_fields:
+                        row[i] = row[i].rstrip(b"\x00").decode("utf-8", "replace")
+                    row = tuple(row)
+                append(row)
+            offset += n * size
+            start += n
+        return rows
+
+    def row_to_dict(self, row):
+        return dict(zip(self.names, row))
 
     def describe(self):
         """Serialized schema (the self-describing part of the stream)."""
@@ -85,6 +235,42 @@ class RecordFormat:
         return "<RecordFormat {} #{} {}B>".format(
             self.name, self.format_id, self.record_size
         )
+
+
+class RecordView:
+    """Dict-like read-only view over one preordered row.
+
+    The daemon's filter push-down hands these to user ``data_filter``
+    functions so filters written against dict records keep working when
+    the analyzers emit rows.  One view is reused across a whole drain
+    (``bind`` swaps the row), so filters must not retain it.
+    """
+
+    __slots__ = ("_fmt", "_row")
+
+    def __init__(self, fmt, row=None):
+        self._fmt = fmt
+        self._row = row
+
+    def bind(self, row):
+        self._row = row
+        return self
+
+    def __getitem__(self, fname):
+        return self._row[self._fmt._index[fname]]
+
+    def get(self, fname, default=None):
+        index = self._fmt._index.get(fname)
+        return default if index is None else self._row[index]
+
+    def __contains__(self, fname):
+        return fname in self._fmt._index
+
+    def keys(self):
+        return self._fmt.names
+
+    def as_dict(self):
+        return self._fmt.row_to_dict(self._row)
 
 
 class FormatRegistry:
@@ -134,13 +320,18 @@ class FormatRegistry:
 
 
 def encode_records(fmt, records):
-    """Encode an iterable of dict records into one framed binary blob."""
+    """Encode an iterable of records into one per-record framed blob.
+
+    The baseline path: one ``struct.pack`` call (and one intermediate
+    ``bytes`` object) per record.  Kept selectable at runtime so the
+    frame path's speedup stays measurable against it.
+    """
     body = b"".join(fmt.pack(record) for record in records)
     return _HEADER.pack(_MAGIC, fmt.format_id, len(body)) + body
 
 
 def decode_records(registry, blob):
-    """Decode a framed blob into ``(format, [records])``."""
+    """Decode a per-record framed blob into ``(format, [records])``."""
     magic, format_id, length = _HEADER.unpack_from(blob)
     if magic != _MAGIC:
         raise ValueError("bad record blob magic: {:#x}".format(magic))
@@ -157,6 +348,91 @@ def decode_records(registry, blob):
     return fmt, records
 
 
-def encode_text(records):
-    """Baseline text encoding (repr lines) for the encoding-cost ablation."""
-    return "\n".join(repr(sorted(record.items())) for record in records).encode("utf-8")
+def encode_frame(fmt, records):
+    """Encode records (preordered rows or dicts) into one frame blob.
+
+    Frame layout::
+
+        <H magic> <H format_id> <I count> <count x record_size payload>
+
+    The payload is packed through the cached multi-record packers into a
+    reusable per-format scratch ``bytearray``; the only fresh allocation
+    per call is the returned ``bytes``.
+    """
+    if not isinstance(records, (list, tuple)):
+        records = list(records)
+    count = len(records)
+    total = _FRAME_HEADER.size + count * fmt.record_size
+    scratch = fmt._scratch
+    if len(scratch) < total:
+        scratch = fmt._scratch = bytearray(total)
+    _FRAME_HEADER.pack_into(scratch, 0, _FRAME_MAGIC, fmt.format_id, count)
+    fmt.pack_frame_into(scratch, _FRAME_HEADER.size, records)
+    return bytes(memoryview(scratch)[:total])
+
+
+def decode_frame(registry, blob):
+    """Decode one frame blob into ``(format, [row tuples])``."""
+    magic, format_id, count = _FRAME_HEADER.unpack_from(blob)
+    if magic != _FRAME_MAGIC:
+        raise ValueError("bad frame magic: {:#x}".format(magic))
+    fmt = registry.by_id(format_id)
+    payload = memoryview(blob)[_FRAME_HEADER.size:]
+    expected = count * fmt.record_size
+    if len(payload) != expected:
+        raise ValueError(
+            "truncated frame: {} payload bytes for {} records of {}B".format(
+                len(payload), count, fmt.record_size
+            )
+        )
+    if count == 0:
+        return fmt, []
+    return fmt, fmt.unpack_rows(payload, count)
+
+
+class FrameDecoder:
+    """Streaming decoder for one subscriber's frame stream (the GPA side).
+
+    Feed it format-descriptor blobs and frame blobs in arrival order; it
+    adopts unseen formats on the fly and unpacks whole frames through the
+    cached multi-record packers — no per-record header parsing and no
+    per-record payload slices.
+    """
+
+    def __init__(self, registry=None):
+        self.registry = registry or FormatRegistry()
+        self.frames_decoded = 0
+        self.records_decoded = 0
+
+    def feed_descriptor(self, blob):
+        """Adopt a self-describing format descriptor."""
+        return self.registry.adopt(blob)
+
+    def feed(self, blob):
+        """Decode one frame; returns ``(format, [row tuples])``."""
+        fmt, rows = decode_frame(self.registry, blob)
+        self.frames_decoded += 1
+        self.records_decoded += len(rows)
+        return fmt, rows
+
+    def stats(self):
+        return {
+            "frames_decoded": self.frames_decoded,
+            "records_decoded": self.records_decoded,
+        }
+
+
+def encode_text(records, fmt=None):
+    """Baseline text encoding (repr lines) for the encoding-cost ablation.
+
+    ``fmt`` is required to render preordered rows; dict records render
+    without it.
+    """
+    rendered = []
+    for record in records:
+        if not isinstance(record, dict):
+            if fmt is None:
+                raise ValueError("encode_text needs a format to render rows")
+            record = fmt.row_to_dict(record)
+        rendered.append(repr(sorted(record.items())))
+    return "\n".join(rendered).encode("utf-8")

@@ -69,6 +69,9 @@ class GlobalPerformanceAnalyzer:
         self.clock_table = clock_table
         self.port = port
         self.registry = encoding.FormatRegistry()
+        # Streaming frame decoder: adopts descriptors as they arrive and
+        # unpacks whole frames through the cached multi-record packers.
+        self.frame_decoder = encoding.FrameDecoder(self.registry)
         self.interactions = deque(maxlen=history)
         self.class_summaries = deque(maxlen=history)
         self.cpa_metrics = deque(maxlen=history)
@@ -124,7 +127,16 @@ class GlobalPerformanceAnalyzer:
             if message.kind == "sysprof-query":
                 yield from self._answer_query(ctx, sock, meta)
             elif message.kind == "sysprof-fmt" and blob:
-                self.registry.adopt(blob)
+                self.frame_decoder.feed_descriptor(blob)
+            elif message.kind == "sysprof-frame" and blob:
+                try:
+                    fmt, rows = self.frame_decoder.feed(blob)
+                except (KeyError, ValueError):
+                    self.decode_errors += 1
+                    continue
+                # Small per-record analysis cost at the global level.
+                yield from ctx.compute(2e-6 * len(rows))
+                self.ingest_rows(fmt, rows)
             elif message.kind == "sysprof-data" and blob:
                 if meta.get("text"):
                     continue  # text ablation payloads are not decoded
@@ -165,6 +177,14 @@ class GlobalPerformanceAnalyzer:
     # ------------------------------------------------------------------
     # ingest + time correction
     # ------------------------------------------------------------------
+
+    def ingest_rows(self, fmt, rows):
+        """Frame-mode ingest: decoded row tuples become the stored record
+        dicts directly (one ``zip`` per record — there is no intermediate
+        per-record blob slice or throwaway dict between the wire and the
+        query structures)."""
+        names = fmt.names
+        self.ingest(fmt.name, [dict(zip(names, row)) for row in rows])
 
     def ingest(self, format_name, records):
         self.records_received += len(records)
@@ -339,6 +359,7 @@ class GlobalPerformanceAnalyzer:
             "cpa_metrics": len(self.cpa_metrics),
             "syscall_summaries": len(self.syscall_summaries),
             "nodes_reporting": sorted(self.node_stats),
+            "frames_received": self.frame_decoder.frames_decoded,
             "decode_errors": self.decode_errors,
             "dumps_written": self.dumps_written,
             "queries_served": self.queries_served,

@@ -148,6 +148,36 @@ class InteractionRecord:
             "total_latency": self.total_latency,
         }
 
+    def as_row(self):
+        """Preordered wire row: values in ``lpa.INTERACTION_FORMAT`` field
+        order, so the dissemination path packs with zero dict lookups.
+        ``tests/core/test_interactions.py`` pins the alignment."""
+        return (
+            self.interaction_id,
+            self.node,
+            self.client[0],
+            self.client[1],
+            self.server[0],
+            self.server[1],
+            self.start_ts,
+            self.end_ts,
+            self.request.packets,
+            self.request.bytes,
+            self.response.packets,
+            self.response.bytes,
+            self.kernel_wait,
+            self.kernel_cpu,
+            self.kernel_time,
+            self.user_time,
+            self.io_blocked,
+            self.ctx_switches,
+            self.disk_ops,
+            self.server_pid,
+            self.server_name,
+            self.request_class,
+            self.total_latency,
+        )
+
     def __repr__(self):
         return "<Interaction #{} {}->{} total={:.6f}s>".format(
             self.interaction_id, self.client, self.server, self.total_latency

@@ -6,6 +6,12 @@ fast path, and stores condensed records into per-CPU double buffers for
 the dissemination daemon.  Callbacks never block and are computationally
 small; their CPU cost is charged by the kernel at the firing site.
 
+Buffered records are **preordered rows**: tuples whose values follow the
+LPA's registered record format field-for-field.  The daemon packs a row
+with a flat iteration — no per-record dict construction or field-name
+lookups on the dissemination hot path.  (Dict records still encode; rows
+are the fast path, not a requirement.)
+
 :class:`InteractionLPA` is the analyzer the paper describes in detail:
 it reconstructs request/response interactions from packet direction
 flips (see :mod:`repro.core.interactions`) and attaches per-interaction
@@ -318,7 +324,7 @@ class InteractionLPA(LocalPerformanceAnalyzer):
         record.server_pid = response.pid or request.pid or 0
         self.window.append(record)
         if self.granularity == "interaction":
-            self.buffer.append(record.as_dict())
+            self.buffer.append(record.as_row())
         else:
             self._aggregate(record)
 
@@ -351,19 +357,20 @@ class InteractionLPA(LocalPerformanceAnalyzer):
         if self.granularity == "class" and self._class_stats:
             now = self.kernel.sim.now
             for name, bundle in sorted(self._class_stats.items()):
+                # Preordered row: CLASS_SUMMARY_FORMAT field order.
                 self.buffer.append(
-                    {
-                        "node": self.kernel.name,
-                        "request_class": name,
-                        "window_start": self._class_window_start,
-                        "window_end": now,
-                        "count": bundle["latency"].count,
-                        "mean_latency": bundle["latency"].mean,
-                        "mean_kernel_time": bundle["kernel_time"].mean,
-                        "mean_user_time": bundle["user_time"].mean,
-                        "mean_kernel_wait": bundle["kernel_wait"].mean,
-                        "total_bytes": bundle["bytes"],
-                    }
+                    (
+                        self.kernel.name,
+                        name,
+                        self._class_window_start,
+                        now,
+                        bundle["latency"].count,
+                        bundle["latency"].mean,
+                        bundle["kernel_time"].mean,
+                        bundle["user_time"].mean,
+                        bundle["kernel_wait"].mean,
+                        bundle["bytes"],
+                    )
                 )
             self._class_stats.clear()
             self._class_window_start = now
@@ -422,18 +429,19 @@ class NodeStatsLPA(LocalPerformanceAnalyzer):
             sock.rx_buffered for sock in kernel._sockets.values()
         )
         pending = self.pending_probe() if self.pending_probe is not None else 0
+        # Preordered row: NODE_STATS_FORMAT field order.
         self.buffer.append(
-            {
-                "node": kernel.name,
-                "ts": kernel.clock.local_time(kernel.sim.now),
-                "cpu_busy": cpu.busy_time,
-                "cpu_user": cpu.mode_time["user"],
-                "cpu_kernel": cpu.mode_time["kernel"],
-                "run_queue": cpu.run_queue_length,
-                "ctx_switches": cpu.ctx_switch_count,
-                "rx_backlog_bytes": backlog,
-                "pending_interactions": pending,
-            }
+            (
+                kernel.name,
+                kernel.clock.local_time(kernel.sim.now),
+                cpu.busy_time,
+                cpu.mode_time["user"],
+                cpu.mode_time["kernel"],
+                cpu.run_queue_length,
+                cpu.ctx_switch_count,
+                backlog,
+                pending,
+            )
         )
 
 
@@ -517,17 +525,18 @@ class SyscallLPA(LocalPerformanceAnalyzer):
             stat = self._stats[call]
             if stat.count == 0:
                 continue
+            # Preordered row: SYSCALL_STATS_FORMAT field order.
             self.buffer.append(
-                {
-                    "node": self.kernel.name,
-                    "window_start": self._window_start,
-                    "window_end": now,
-                    "call": call,
-                    "count": stat.count,
-                    "mean_latency": stat.mean,
-                    "max_latency": stat.maximum,
-                    "total_latency": stat.total,
-                }
+                (
+                    self.kernel.name,
+                    self._window_start,
+                    now,
+                    call,
+                    stat.count,
+                    stat.mean,
+                    stat.maximum,
+                    stat.total,
+                )
             )
         self._stats.clear()
         self._window_start = now

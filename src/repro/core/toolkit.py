@@ -47,6 +47,7 @@ class SysProfConfig:
     dump_path: str = None
     dump_interval: float = None
     text_encoding: bool = False  # ablation: ship text instead of PBIO binary
+    frame_dissemination: bool = True  # batched frames (False: per-record blobs)
     daemon_affinity: int = None  # pin sysprofd to a core (SMP nodes)
     extra: dict = field(default_factory=dict)
 
@@ -133,6 +134,7 @@ class SysProf:
             eviction_interval=config.eviction_interval,
             text_encoding=config.text_encoding,
             affinity=affinity,
+            frame_mode=config.frame_dissemination,
         )
         daemon.add_lpa(interaction_lpa)
         nodestats_lpa = None

@@ -53,6 +53,7 @@ class NfsExperimentConfig:
     seed: int = 9
     sim_limit: float = 400.0
     clock_skew: bool = True
+    frame_dissemination: bool = True  # batched frames vs per-record blobs
 
 
 def build_cluster(config):
@@ -93,7 +94,12 @@ def run_nfs_experiment(threads_per_client, config=None):
     ).start()
 
     sysprof = SysProf(
-        cluster, SysProfConfig(eviction_interval=0.2), clock_table=clock_table
+        cluster,
+        SysProfConfig(
+            eviction_interval=0.2,
+            frame_dissemination=config.frame_dissemination,
+        ),
+        clock_table=clock_table,
     )
     sysprof.install(monitored=["proxy"] + backend_names, gpa_node="mgmt")
     sysprof.start()

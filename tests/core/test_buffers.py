@@ -40,6 +40,37 @@ def test_overwrite_when_consumer_late(kernel):
     assert buffer.switches == 3
 
 
+def test_overwrite_discards_all_undrained_records(kernel):
+    """Every record in an overwritten buffer counts as lost, and a later
+    drain of that buffer sees only the freshly-appended records."""
+    handoffs = []
+    buffer = DoubleBuffer(kernel, 2, on_full=lambda b, i: handoffs.append(i))
+    for value in ("a0", "a1", "b0", "b1", "c0", "c1"):
+        buffer.append(value)
+    # Buffer 0 held ("a0","a1") and was never drained before switch 2
+    # reclaimed it; likewise buffer 1's ("b0","b1") at switch 3.
+    assert buffer.records_lost == 4
+    assert handoffs == [0, 1, 0]
+    # The pending hand-off holds only the freshest generation.
+    assert buffer.drain(0) == ["c0", "c1"]
+    assert buffer.drain(1) == []
+
+
+def test_drain_into_extends_and_clears(kernel):
+    handoffs = []
+    buffer = DoubleBuffer(kernel, 2, on_full=lambda b, i: handoffs.append(i))
+    buffer.append("x")
+    buffer.append("y")
+    out = ["pre"]
+    assert buffer.drain_into(handoffs[0], out) == 2
+    assert out == ["pre", "x", "y"]
+    # Drained: the next switch onto this buffer loses nothing.
+    assert buffer.drain_into(handoffs[0], out) == 0
+    buffer.append("z")
+    buffer.switch(force=True)
+    assert buffer.records_lost == 0
+
+
 def test_no_loss_when_drained_promptly(kernel):
     buffer = DoubleBuffer(kernel, 2, on_full=lambda b, i: b.drain(i))
     for value in range(20):

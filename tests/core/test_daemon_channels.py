@@ -98,6 +98,108 @@ def test_daemon_stop_halts_publishing():
     assert daemon.records_published == published
 
 
+def test_frame_mode_is_default_and_publishes_frames():
+    cluster, sysprof = build_monitored_pair()
+    drive_traffic(cluster, sysprof, count=6)
+    daemon = sysprof.monitor("server").daemon
+    assert daemon.frame_mode
+    assert daemon.frames_published >= 1
+    gpa_stats = sysprof.gpa.stats()
+    assert gpa_stats["frames_received"] >= 1
+    assert gpa_stats["decode_errors"] == 0
+    assert len(sysprof.gpa.query_interactions(node="server")) == 6
+
+
+def test_per_record_mode_still_publishes():
+    cluster, sysprof = build_monitored_pair(
+        config=SysProfConfig(eviction_interval=0.05, frame_dissemination=False)
+    )
+    drive_traffic(cluster, sysprof, count=5)
+    daemon = sysprof.monitor("server").daemon
+    assert not daemon.frame_mode
+    assert daemon.frames_published == 0
+    assert daemon.records_published >= 5
+    assert sysprof.gpa.stats()["decode_errors"] == 0
+    assert len(sysprof.gpa.query_interactions(node="server")) == 5
+
+
+def test_frame_mode_coalesces_multiple_drains_into_one_frame():
+    """Two buffer-full notifications pending at one wakeup — here from
+    two same-format analyzer buffers — become a single frame carrying
+    all four records."""
+    from repro.core.lpa import InteractionLPA
+
+    cluster, sysprof = build_monitored_pair(
+        config=SysProfConfig(
+            eviction_interval=0.5, buffer_capacity=2, nodestats=False
+        )
+    )
+    lpa = sysprof.lpa("server")
+    monitor = sysprof.monitor("server")
+    daemon = monitor.daemon
+    extra = InteractionLPA(
+        monitor.node.kernel, monitor.kprof,
+        name="interaction-lpa-2", buffer_capacity=2,
+    )
+    daemon.add_lpa(extra)
+    base = {
+        "node": "server", "client_ip": "10.0.0.9", "client_port": 4000,
+        "server_ip": "10.0.0.2", "server_port": 8080, "start_ts": 0.0,
+        "end_ts": 0.001, "req_packets": 1, "req_bytes": 100,
+        "resp_packets": 1, "resp_bytes": 50, "kernel_wait": 0.0,
+        "kernel_cpu": 0.0, "kernel_time": 0.0, "user_time": 0.0,
+        "io_blocked": 0.0, "ctx_switches": 0, "disk_ops": 0,
+        "server_pid": 1, "server_name": "srv", "request_class": "query",
+        "total_latency": 0.001,
+    }
+    for i in range(2):
+        lpa.buffer.append(dict(base, interaction_id=i))
+    for i in range(2, 4):
+        extra.buffer.append(dict(base, interaction_id=i))
+    # Two pending hand-offs queued, one per analyzer buffer.
+    assert lpa.buffer.switches == 1 and extra.buffer.switches == 1
+    cluster.run(until=0.4)
+    assert daemon.frames_published == 1
+    assert daemon.records_published == 4
+    assert sysprof.gpa.stats()["frames_received"] == 1
+    assert len(sysprof.gpa.interactions) == 4
+
+
+def test_format_descriptors_resent_after_reconnect():
+    """A replaced subscriber socket must re-learn every format: the peer's
+    decoder registry died with the old connection."""
+    cluster, sysprof = build_monitored_pair()
+    drive_traffic(cluster, sysprof, count=3)
+    daemon = sysprof.monitor("server").daemon
+    sends_before = daemon.format_sends
+    assert sends_before >= 1
+    for endpoint in list(daemon._sockets):
+        daemon.reset_endpoint(endpoint)
+    from tests.core.helpers import request_client
+
+    cluster.node("client").spawn("cli2", request_client, "server", 8080, 3)
+    cluster.run(until=cluster.sim.now + 2.0)
+    sysprof.flush()
+    assert daemon.format_sends > sends_before
+    assert sysprof.gpa.stats()["decode_errors"] == 0
+    assert len(sysprof.gpa.query_interactions(node="server")) == 6
+
+
+def test_data_filter_sees_rows_through_record_view():
+    """Filter push-down: dict-style filters keep working although the
+    analyzers now buffer preordered row tuples."""
+    cluster, sysprof = build_monitored_pair()
+    daemon = sysprof.monitor("server").daemon
+    seen_classes = []
+    daemon.data_filter = lambda lpa_name, record: (
+        seen_classes.append(record.get("request_class")) or True
+    )
+    drive_traffic(cluster, sysprof, count=3)
+    assert "query" in seen_classes
+    assert daemon.records_filtered == 0
+    assert len(sysprof.gpa.query_interactions(node="server")) == 3
+
+
 def test_no_subscribers_means_local_only():
     cluster, sysprof = build_monitored_pair(gpa_node=None)
     drive_traffic(cluster, sysprof, count=4)

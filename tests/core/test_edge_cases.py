@@ -73,8 +73,11 @@ def test_daemon_resends_format_per_endpoint_once():
     cluster, sysprof = build_monitored_pair()
     drive_traffic(cluster, sysprof, count=12)
     daemon = sysprof.monitor("server").daemon
-    # interaction + nodestats formats to a single endpoint: exactly 2.
-    assert len(daemon._formats_sent) == 2
+    # interaction + nodestats formats to a single endpoint: exactly one
+    # descriptor each, on one tracked subscriber socket.
+    assert daemon.format_sends == 2
+    ((_sock, sent_names),) = daemon._formats_sent.values()
+    assert sent_names == {"sysprof.interaction", "sysprof.nodestats"}
     assert sysprof.gpa.decode_errors == 0
 
 

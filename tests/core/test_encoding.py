@@ -5,7 +5,12 @@ from hypothesis import given, strategies as st
 
 from repro.core.encoding import (
     FormatRegistry,
+    FrameDecoder,
+    RecordView,
+    _PACK_CHUNK,
+    decode_frame,
     decode_records,
+    encode_frame,
     encode_records,
     encode_text,
 )
@@ -52,6 +57,33 @@ def test_string_truncation_and_padding():
               "name": "much-longer-than-twelve-bytes"}
     _, decoded = decode_records(registry, encode_records(fmt, [record]))
     assert decoded[0]["name"] == "much-longer-"
+
+
+def test_multibyte_truncation_at_codepoint_boundary():
+    """Truncation must not cut a multibyte character mid-sequence.
+
+    "a" + six "é" is 13 UTF-8 bytes with the sixth "é" spanning bytes
+    11-12; a blind ``data[:12]`` cut would keep its lead byte and the
+    decoder could only render U+FFFD.  Regression test for the ``strN``
+    fix: the whole straddling character is dropped instead.
+    """
+    registry, fmt = _registry()
+    record = {"id": 1, "value": 0.0, "count": 0, "port": 0, "flag": False,
+              "name": "a" + "é" * 6}
+    _, decoded = decode_records(registry, encode_records(fmt, [record]))
+    assert decoded[0]["name"] == "a" + "é" * 5
+    assert "�" not in decoded[0]["name"]
+
+
+def test_truncation_of_wide_codepoints():
+    # Four-byte emoji starting at byte 10 straddles the 12-byte width:
+    # it must be dropped whole, not split after two bytes.
+    registry, fmt = _registry()
+    record = {"id": 1, "value": 0.0, "count": 0, "port": 0, "flag": False,
+              "name": "ab" + "\U0001f600" * 4}
+    _, decoded = decode_records(registry, encode_records(fmt, [record]))
+    assert decoded[0]["name"] == "ab" + "\U0001f600" * 2
+    assert "�" not in decoded[0]["name"]
 
 
 def test_empty_record_list():
@@ -126,27 +158,158 @@ def test_binary_much_smaller_than_text():
     assert len(binary) < len(text) / 2
 
 
-@given(
-    st.lists(
-        st.fixed_dictionaries(
-            {
-                "id": st.integers(0, 2**32 - 1),
-                "value": st.floats(allow_nan=False, allow_infinity=False,
-                                   width=64),
-                "count": st.integers(-(2**63), 2**63 - 1),
-                "port": st.integers(0, 65535),
-                "flag": st.booleans(),
-                "name": st.text(
-                    alphabet=st.characters(min_codepoint=32, max_codepoint=126),
-                    max_size=12,
-                ),
-            }
-        ),
-        max_size=20,
+# ----------------------------------------------------------------------
+# frames: the batched dissemination wire format
+# ----------------------------------------------------------------------
+
+
+def _sample_records(n):
+    return [
+        {"id": i, "value": i * 0.5, "count": i - 10, "port": i % 65536,
+         "flag": bool(i % 2), "name": "rec{}".format(i)}
+        for i in range(n)
+    ]
+
+
+def _as_rows(fmt, records):
+    return [tuple(record[name] for name in fmt.names) for record in records]
+
+
+def test_frame_roundtrip_rows():
+    registry, fmt = _registry()
+    records = _sample_records(40)
+    rows = _as_rows(fmt, records)
+    decoded_fmt, decoded = decode_frame(registry, encode_frame(fmt, rows))
+    assert decoded_fmt is fmt
+    assert [fmt.row_to_dict(row) for row in decoded] == records
+
+
+def test_frame_accepts_dict_records():
+    registry, fmt = _registry()
+    records = _sample_records(7)
+    _, decoded = decode_frame(registry, encode_frame(fmt, records))
+    assert [fmt.row_to_dict(row) for row in decoded] == records
+
+
+def test_frame_matches_per_record_payload():
+    """Same record images on the wire; only the 8-byte header differs."""
+    registry, fmt = _registry()
+    records = _sample_records(11)
+    blob_records = encode_records(fmt, records)
+    blob_frame = encode_frame(fmt, _as_rows(fmt, records))
+    assert blob_records[8:] == blob_frame[8:]
+    assert len(blob_records) == len(blob_frame)
+
+
+def test_empty_frame():
+    registry, fmt = _registry()
+    _, decoded = decode_frame(registry, encode_frame(fmt, []))
+    assert decoded == []
+
+
+def test_frame_bad_magic_rejected():
+    registry, fmt = _registry()
+    blob = encode_frame(fmt, _as_rows(fmt, _sample_records(2)))
+    with pytest.raises(ValueError, match="magic"):
+        decode_frame(registry, b"\x00\x00" + blob[2:])
+    # A per-record blob is not a frame (and vice versa).
+    with pytest.raises(ValueError, match="magic"):
+        decode_frame(registry, encode_records(fmt, _sample_records(2)))
+
+
+def test_truncated_frame_rejected():
+    registry, fmt = _registry()
+    blob = encode_frame(fmt, _as_rows(fmt, _sample_records(3)))
+    with pytest.raises(ValueError, match="truncated"):
+        decode_frame(registry, blob[:-5])
+
+
+def test_frame_larger_than_pack_chunk():
+    """> _PACK_CHUNK records exercise the chunked multi-record packers."""
+    registry, fmt = _registry()
+    records = _sample_records(_PACK_CHUNK + 37)
+    _, decoded = decode_frame(
+        registry, encode_frame(fmt, _as_rows(fmt, records))
     )
+    assert [fmt.row_to_dict(row) for row in decoded] == records
+
+
+def test_packer_cache_reused_and_bounded():
+    _, fmt = _registry()
+    assert fmt.packer(8) is fmt.packer(8)
+    assert fmt.packer(1).size * 8 == fmt.packer(8).size
+    with pytest.raises(ValueError):
+        fmt.packer(_PACK_CHUNK + 1)
+
+
+def test_frame_decoder_streaming():
+    """The GPA side: descriptor first, then frames, on a fresh registry."""
+    _, fmt = _registry()
+    decoder = FrameDecoder()
+    adopted = decoder.feed_descriptor(fmt.describe())
+    assert adopted.fields == fmt.fields
+    records = _sample_records(9)
+    for chunk in (records[:4], records[4:]):
+        got_fmt, rows = decoder.feed(encode_frame(fmt, _as_rows(fmt, chunk)))
+        assert got_fmt.name == fmt.name
+        assert [got_fmt.row_to_dict(row) for row in rows] == chunk
+    assert decoder.stats() == {"frames_decoded": 2, "records_decoded": 9}
+
+
+def test_frame_decoder_unknown_format_raises():
+    _, fmt = _registry()
+    decoder = FrameDecoder()  # never fed the descriptor
+    with pytest.raises(KeyError):
+        decoder.feed(encode_frame(fmt, _as_rows(fmt, _sample_records(1))))
+
+
+def test_record_view_exposes_row_as_mapping():
+    _, fmt = _registry()
+    records = _sample_records(2)
+    rows = _as_rows(fmt, records)
+    view = RecordView(fmt)
+    assert view.bind(rows[0])["name"] == "rec0"
+    assert view.get("port") == 0
+    assert view.get("missing", 42) == 42
+    assert "flag" in view and "missing" not in view
+    assert tuple(view.keys()) == fmt.names
+    assert view.as_dict() == records[0]
+    # One reused view: bind() swaps the row in place.
+    assert view.bind(rows[1])["name"] == "rec1"
+
+
+RECORDS_STRATEGY = st.lists(
+    st.fixed_dictionaries(
+        {
+            "id": st.integers(0, 2**32 - 1),
+            "value": st.floats(allow_nan=False, allow_infinity=False,
+                               width=64),
+            "count": st.integers(-(2**63), 2**63 - 1),
+            "port": st.integers(0, 65535),
+            "flag": st.booleans(),
+            "name": st.text(
+                alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+                max_size=12,
+            ),
+        }
+    ),
+    max_size=20,
 )
+
+
+@given(RECORDS_STRATEGY)
 def test_roundtrip_property(records):
     registry = FormatRegistry()
     fmt = registry.register("prop.record", FIELDS)
     _, decoded = decode_records(registry, encode_records(fmt, records))
     assert decoded == records
+
+
+@given(RECORDS_STRATEGY)
+def test_frame_roundtrip_property(records):
+    """Frames decode to exactly what per-record blobs decode to."""
+    registry = FormatRegistry()
+    fmt = registry.register("prop.record", FIELDS)
+    rows = [tuple(record[name] for name in fmt.names) for record in records]
+    _, decoded = decode_frame(registry, encode_frame(fmt, rows))
+    assert [fmt.row_to_dict(row) for row in decoded] == records

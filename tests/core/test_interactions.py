@@ -133,6 +133,27 @@ def test_total_latency_and_kernel_time_properties():
     assert payload["total_latency"] == pytest.approx(2.5)
 
 
+def test_as_row_aligns_with_interaction_format():
+    """Pin ``as_row`` to INTERACTION_FORMAT field order: the daemon packs
+    these rows positionally, so a drift here would silently scramble
+    every field on the wire."""
+    from repro.core.lpa import INTERACTION_FORMAT
+
+    emitted = []
+    tracker = make_tracker(emitted)
+    tracker.on_packet(CLIENT, SERVER, 1.0, 100, kind="query", pid=7)
+    tracker.on_packet(SERVER, CLIENT, 2.0, 50, kind="reply")
+    tracker.flush()
+    record = emitted[0]
+    record.kernel_wait, record.kernel_cpu = 0.5, 0.25
+    record.user_time, record.server_name = 0.125, "srv"
+    payload = record.as_dict()
+    _name, fields = INTERACTION_FORMAT
+    names = tuple(fname for fname, _ftype in fields)
+    assert tuple(payload.keys()) == names
+    assert record.as_row() == tuple(payload[fname] for fname in names)
+
+
 @given(st.lists(st.booleans(), min_size=1, max_size=60))
 def test_message_count_equals_direction_flips(directions):
     """Property: closed messages == direction runs (paper's definition).

@@ -3,9 +3,13 @@
 The hard constraint on every engine optimization: same seed => byte
 identical GPA traces.  These tests hash the full interaction trace of
 the NFS and RUBiS experiments and require the hash to survive (a) a
-re-run, (b) disabling the same-time fast lane, and (c) fanning the sweep
-out over worker processes.
+re-run, (b) disabling the same-time fast lane, (c) fanning the sweep
+out over worker processes, and (d) switching between frame and
+per-record dissemination (both charge identical simulated CPU and ship
+byte-equal record images, so monitoring timing cannot diverge).
 """
+
+import dataclasses
 
 import pytest
 
@@ -52,6 +56,11 @@ def test_nfs_trace_hash_identical_without_fast_lane(nfs_baseline, monkeypatch):
     assert slow == nfs_baseline[0]
 
 
+def test_nfs_trace_hash_identical_per_record_mode(nfs_baseline):
+    per_record = dataclasses.replace(NFS_CONFIG, frame_dissemination=False)
+    assert run_nfs_experiment(1, per_record).trace_hash == nfs_baseline[0]
+
+
 def test_nfs_trace_hash_identical_under_jobs(nfs_baseline):
     parallel = run_thread_sweep(NFS_CONFIG, jobs=4)
     assert [result.trace_hash for result in parallel] == nfs_baseline
@@ -76,6 +85,11 @@ def test_rubis_trace_hash_identical_without_fast_lane(rubis_baseline, monkeypatc
     monkeypatch.setattr(engine_mod, "DEFAULT_FAST_LANE", False)
     slow = run_rubis_experiment("dwcs", RUBIS_CONFIG).trace_hash
     assert slow == rubis_baseline
+
+
+def test_rubis_trace_hash_identical_per_record_mode(rubis_baseline):
+    per_record = dataclasses.replace(RUBIS_CONFIG, frame_dissemination=False)
+    assert run_rubis_experiment("dwcs", per_record).trace_hash == rubis_baseline
 
 
 def test_rubis_trace_hash_identical_under_jobs(rubis_baseline):
