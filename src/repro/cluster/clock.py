@@ -39,6 +39,9 @@ class ClockTable:
     def __init__(self, reference):
         self.reference = reference
         self._offsets = {reference: 0.0}
+        # Set by ntp.synchronize when a deadline expired mid-pass.
+        self.partial = False
+        self.missing = ()
 
     def set_offset(self, node_name, offset):
         self._offsets[node_name] = offset

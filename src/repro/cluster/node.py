@@ -43,6 +43,12 @@ class Node:
     def local_time(self):
         return self.clock.local_time(self.sim.now)
 
+    def crash(self, reason="crash"):
+        """Hard-stop the machine: every task dies and every connection
+        resets, as a power failure would.  Restart is application-level —
+        respawn whatever services the experiment needs back up."""
+        self.kernel.crash(reason)
+
     def __repr__(self):
         return "<Node {} ip={}>".format(self.name, self.ip)
 

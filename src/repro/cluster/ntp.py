@@ -10,8 +10,25 @@ receive/reply local times ``T1``/``T2``,
 estimates how far the server's clock runs ahead of the client's.
 """
 
+import warnings
+
+from repro.sim.errors import SimError
+
 NTP_PORT = 123
 _PROBE_BYTES = 90  # NTPv4 packet size
+
+
+class NtpSyncTimeout(SimError):
+    """A sync pass hit its deadline before measuring every target.
+
+    The ``table`` attribute carries the partial :class:`ClockTable`
+    (``table.missing`` lists the unmeasured nodes) so callers that can
+    live with a partial view may catch and keep it.
+    """
+
+    def __init__(self, message, table):
+        super().__init__(message)
+        self.table = table
 
 
 class NtpSync:
@@ -31,23 +48,29 @@ class NtpSync:
             self._servers.append(node.spawn("ntpd", self._ntpd))
 
     def _ntpd(self, ctx):
+        # Accept loop only; each connection gets its own handler task so
+        # concurrent sync clients are served in parallel (the old nested
+        # recv loop made a second client wait for the first to hang up).
         lsock = yield from ctx.listen(NTP_PORT)
         while True:
             sock = yield from ctx.accept(lsock)
-            while True:
-                request = yield from ctx.recv_message(sock)
-                if request is None:
-                    break
-                receive_ts = ctx.kernel.clock.local_time(ctx.now)
-                # Trivial server-side processing before the reply is formed.
-                yield from ctx.compute(2e-6)
-                transmit_ts = ctx.kernel.clock.local_time(ctx.now)
-                yield from ctx.send_message(
-                    sock,
-                    _PROBE_BYTES,
-                    kind="ntp-reply",
-                    meta={"t1": receive_ts, "t2": transmit_ts},
-                )
+            ctx.spawn("ntpd-conn", self._ntpd_conn, sock)
+
+    def _ntpd_conn(self, ctx, sock):
+        while True:
+            request = yield from ctx.recv_message(sock)
+            if request is None:
+                break
+            receive_ts = ctx.kernel.clock.local_time(ctx.now)
+            # Trivial server-side processing before the reply is formed.
+            yield from ctx.compute(2e-6)
+            transmit_ts = ctx.kernel.clock.local_time(ctx.now)
+            yield from ctx.send_message(
+                sock,
+                _PROBE_BYTES,
+                kind="ntp-reply",
+                meta={"t1": receive_ts, "t2": transmit_ts},
+            )
 
     def measure(self, clock_table, on_done=None):
         """Spawn the measurement task on the reference node.
@@ -88,11 +111,18 @@ class NtpSync:
         return clock_table
 
 
-def synchronize(cluster, reference_name, rounds=4, deadline=5.0):
+def synchronize(cluster, reference_name, rounds=4, deadline=5.0, strict=True):
     """Convenience: run a full sync pass and return the :class:`ClockTable`.
 
     Must be called while the simulation is otherwise quiet (e.g. before
     the workload starts); advances simulated time.
+
+    If the deadline expires (or the exchange wedges, e.g. a target behind
+    a partition) before every target is measured, ``strict=True`` raises
+    :class:`NtpSyncTimeout`; ``strict=False`` warns and returns the
+    partial table with ``table.partial`` set and ``table.missing``
+    naming the unmeasured nodes — previously the partial table came back
+    silently, indistinguishable from a complete one.
     """
     from repro.cluster.clock import ClockTable
 
@@ -100,5 +130,19 @@ def synchronize(cluster, reference_name, rounds=4, deadline=5.0):
     sync = NtpSync(cluster, reference_name, rounds=rounds)
     sync.start_servers()
     task = sync.measure(table)
-    cluster.sim.run_until_triggered(task.proc, limit=cluster.sim.now + deadline)
+    try:
+        cluster.sim.run_until_triggered(task.proc, limit=cluster.sim.now + deadline)
+    except SimError:
+        task.kill("ntp-deadline")
+        targets = [n for n in cluster.nodes if n != reference_name]
+        missing = tuple(n for n in targets if not table.known(n))
+        table.partial = bool(missing)
+        table.missing = missing
+        if missing:
+            message = "ntp sync deadline ({}s) expired with {} unmeasured".format(
+                deadline, ", ".join(missing)
+            )
+            if strict:
+                raise NtpSyncTimeout(message, table) from None
+            warnings.warn(message, stacklevel=2)
     return table

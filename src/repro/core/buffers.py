@@ -46,13 +46,13 @@ class DoubleBuffer:
     def switch(self, force=False):
         """Swap active buffers and hand the full one to the daemon.
 
-        ``force`` flushes a partially-filled buffer (periodic eviction).
-        Returns the sequence number of the handed-off buffer, or ``None``
-        if there was nothing to hand off.
+        ``force`` flushes a partially-filled buffer (periodic eviction);
+        an *empty* buffer is never handed off, forced or not — there is
+        nothing to disable interrupts for.  Returns the sequence number
+        of the handed-off buffer, or ``None`` if there was nothing to
+        hand off.
         """
         active = self._active
-        if not self._buffers[active] and not force:
-            return None
         if not self._buffers[active]:
             return None
         # Interrupts disabled locally for the swap: charge irq-context CPU.

@@ -34,12 +34,25 @@ from repro.ossim.task import BAND_KERNEL
 from repro.sim.resources import Store
 
 
+class _EndpointBackoff:
+    """Retry state for one unreachable subscriber endpoint."""
+
+    __slots__ = ("failures", "next_attempt_at", "abandoned")
+
+    def __init__(self):
+        self.failures = 0
+        self.next_attempt_at = 0.0
+        self.abandoned = False
+
+
 class DisseminationDaemon:
     """Collects analyzer buffers, encodes records, publishes to channels."""
 
     def __init__(self, node, hub, registry=None, eviction_interval=0.25,
                  name="sysprofd", channel_prefix="sysprof/", data_filter=None,
-                 text_encoding=False, affinity=None, frame_mode=True):
+                 text_encoding=False, affinity=None, frame_mode=True,
+                 reconnect_backoff_base=0.05, reconnect_backoff_cap=2.0,
+                 reconnect_backoff_jitter=0.25, reconnect_max_retries=12):
         self.node = node
         self.hub = hub
         self.registry = registry or encoding.FormatRegistry()
@@ -58,6 +71,18 @@ class DisseminationDaemon:
         # by socket *identity*: a reconnected endpoint gets a fresh set,
         # so the new peer connection re-learns every format descriptor.
         self._formats_sent = {}
+        # Per-endpoint reconnect pacing: exponential backoff with
+        # deterministic jitter and a retry budget.  The jitter RNG is a
+        # named substream created lazily and drawn ONLY on failures, so
+        # fault-free runs never touch it (same-seed digests unchanged).
+        self.reconnect_backoff_base = reconnect_backoff_base
+        self.reconnect_backoff_cap = reconnect_backoff_cap
+        self.reconnect_backoff_jitter = reconnect_backoff_jitter
+        self.reconnect_max_retries = reconnect_max_retries
+        self._backoff = {}  # endpoint -> _EndpointBackoff
+        self._backoff_rng = None
+        self._connected_before = set()  # endpoints that connected at least once
+        self._pending_get = None  # the _run loop's parked notification get()
         self.task = None
         self.records_published = 0
         self.records_filtered = 0
@@ -66,6 +91,10 @@ class DisseminationDaemon:
         self.frames_published = 0
         self.format_sends = 0
         self.send_errors = 0
+        self.connect_attempts = 0
+        self.reconnects = 0
+        self.backoff_skips = 0
+        self.endpoints_abandoned = 0
         self._stopped = False
 
     # ------------------------------------------------------------------
@@ -99,22 +128,59 @@ class DisseminationDaemon:
     def stop(self):
         self._stopped = True
 
+    def kill(self, reason="fault-injection"):
+        """Crash the daemon task in place (no cleanup path runs).
+
+        Buffer-full notifications already queued survive for the
+        restarted daemon, but the dead task's parked ``get()`` is
+        withdrawn so it cannot swallow the next one.  Publish sockets die
+        with the process — subscribers observe connection resets.
+        Counters live on this object and stay cumulative across restarts.
+        """
+        if self.task is not None:
+            self.task.kill(reason)
+            self.task = None
+        if self._pending_get is not None:
+            self._notifications.cancel_get(self._pending_get)
+            self._pending_get = None
+        for sock in self._sockets.values():
+            if sock is not None:
+                sock.reset()
+        self._sockets.clear()
+        self._formats_sent.clear()
+        # A fresh process has no memory of past failures: abandoned
+        # endpoints get a clean retry budget.
+        self._backoff.clear()
+
+    def restart(self):
+        """Respawn the daemon task after :meth:`kill`."""
+        return self.start()
+
     def reset_endpoint(self, endpoint):
         """Forget a subscriber's socket (peer restart / connection loss).
 
         The next publish reconnects; the socket-identity check in
         :meth:`_ensure_format_sent` then re-sends every format descriptor
-        on the fresh connection.
+        on the fresh connection.  The per-endpoint format set is purged
+        here too — before, the stale ``(dead socket, formats)`` tuple
+        lingered in ``_formats_sent`` forever, growing by one entry per
+        subscriber restart.
         """
         self._sockets.pop(endpoint, None)
+        self._formats_sent.pop(endpoint, None)
+
+    def revive_endpoint(self, endpoint):
+        """Clear an endpoint's backoff/abandoned state (subscriber is back)."""
+        self._backoff.pop(endpoint, None)
 
     # ------------------------------------------------------------------
 
     def _run(self, ctx):
         sim = ctx.sim
         # One persistent pending get() so no notification is ever consumed
-        # by an abandoned waiter.
-        pending = self._notifications.get()
+        # by an abandoned waiter.  Tracked on self so kill() can withdraw
+        # it — otherwise the dead task's waiter would eat the next item.
+        pending = self._pending_get = self._notifications.get()
         last_eviction = sim.now
         while not self._stopped:
             timer = sim.timeout(self.eviction_interval)
@@ -133,7 +199,7 @@ class DisseminationDaemon:
             while True:
                 if pending.triggered:
                     batches.append(pending.value)
-                    pending = self._notifications.get()
+                    pending = self._pending_get = self._notifications.get()
                     continue
                 ok, item = self._notifications.try_get()
                 if not ok:
@@ -152,6 +218,8 @@ class DisseminationDaemon:
                     if not records:
                         continue
                     yield from self._publish(ctx, lpa, records)
+        self._notifications.cancel_get(pending)
+        self._pending_get = None
         return "stopped"
 
     # ------------------------------------------------------------------
@@ -268,10 +336,13 @@ class DisseminationDaemon:
                     meta={"blob": blob, "channel": channel, "text": text},
                 )
             except Exception:
-                # Peer gone mid-publish: drop the socket so the next
-                # wakeup reconnects (and re-sends descriptors).
+                # Peer gone mid-publish: drop the socket so a later
+                # wakeup reconnects (and re-sends descriptors), but only
+                # after the endpoint's backoff window passes.
                 self.send_errors += 1
                 self.reset_endpoint(endpoint)
+                yield from ctx.kcompute(self.node.kernel.costs.daemon_reconnect)
+                self._note_endpoint_failure(endpoint)
                 continue
             self.bytes_published += len(blob)
             self.publishes += 1
@@ -298,14 +369,59 @@ class DisseminationDaemon:
         sock = self._sockets.get(endpoint)
         if sock is not None:
             return sock
+        costs = self.node.kernel.costs
+        state = self._backoff.get(endpoint)
+        if state is not None:
+            if state.abandoned:
+                return None
+            # Cheap clock probe: is this endpoint's window open yet?
+            yield from ctx.kcompute(costs.daemon_backoff_probe)
+            if ctx.now < state.next_attempt_at:
+                self.backoff_skips += 1
+                return None
         node_name, port = endpoint
+        self.connect_attempts += 1
         try:
             sock = yield from ctx.connect(node_name, port)
         except Exception:
-            self._sockets[endpoint] = None
+            yield from ctx.kcompute(costs.daemon_reconnect)
+            self._note_endpoint_failure(endpoint)
             return None
         self._sockets[endpoint] = sock
+        self._backoff.pop(endpoint, None)
+        if endpoint in self._connected_before:
+            self.reconnects += 1
+        self._connected_before.add(endpoint)
         return sock
+
+    def _note_endpoint_failure(self, endpoint):
+        """Advance an endpoint's backoff after a failed connect or send."""
+        state = self._backoff.get(endpoint)
+        if state is None:
+            state = self._backoff[endpoint] = _EndpointBackoff()
+        state.failures += 1
+        if state.failures > self.reconnect_max_retries:
+            if not state.abandoned:
+                state.abandoned = True
+                self.endpoints_abandoned += 1
+            return state
+        delay = min(
+            self.reconnect_backoff_cap,
+            self.reconnect_backoff_base * (2.0 ** (state.failures - 1)),
+        )
+        if self.reconnect_backoff_jitter:
+            delay *= 1.0 + self.reconnect_backoff_jitter * self._jitter_rng().random()
+        state.next_attempt_at = self.node.sim.now + delay
+        return state
+
+    def _jitter_rng(self):
+        """Lazy named substream — creating it only on the first failure
+        keeps fault-free runs byte-identical to builds without it."""
+        if self._backoff_rng is None:
+            self._backoff_rng = self.node.cluster.streams.stream(
+                "sysprofd.backoff.{}".format(self.node.name)
+            )
+        return self._backoff_rng
 
     # ------------------------------------------------------------------
 
@@ -319,6 +435,11 @@ class DisseminationDaemon:
             "publishes={}".format(self.publishes),
             "frames_published={}".format(self.frames_published),
             "format_sends={}".format(self.format_sends),
+            "send_errors={}".format(self.send_errors),
+            "connect_attempts={}".format(self.connect_attempts),
+            "reconnects={}".format(self.reconnects),
+            "backoff_skips={}".format(self.backoff_skips),
+            "endpoints_abandoned={}".format(self.endpoints_abandoned),
             "lpas={}".format(",".join(lpa.name for lpa in self.lpas)),
         ]
         return "\n".join(lines) + "\n"
@@ -332,6 +453,10 @@ class DisseminationDaemon:
             "frames_published": self.frames_published,
             "format_sends": self.format_sends,
             "send_errors": self.send_errors,
+            "connect_attempts": self.connect_attempts,
+            "reconnects": self.reconnects,
+            "backoff_skips": self.backoff_skips,
+            "endpoints_abandoned": self.endpoints_abandoned,
         }
 
 

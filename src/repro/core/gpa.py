@@ -84,6 +84,10 @@ class GlobalPerformanceAnalyzer:
         self.dump_interval = dump_interval
         self.dumps_written = 0
         self._server_task = None
+        self._dump_task = None
+        self._conn_tasks = []
+        self._conn_socks = []
+        self.restarts = 0
         self._stopped = False
 
     # ------------------------------------------------------------------
@@ -105,17 +109,54 @@ class GlobalPerformanceAnalyzer:
         if self._server_task is None:
             self._server_task = self.node.spawn("gpa", self._server)
             if self.dump_path and self.dump_interval:
-                self.node.spawn("gpa-dump", self._dumper)
+                self._dump_task = self.node.spawn("gpa-dump", self._dumper)
         return self._server_task
 
     def stop(self):
         self._stopped = True
 
+    def kill(self, reason="fault-injection"):
+        """Crash the GPA process: server, dumper, and every connection
+        handler die; the listening port closes; established sockets reset
+        so publishing daemons observe the failure instead of blocking on
+        a dead peer's flow-control window."""
+        for task in [self._server_task, self._dump_task] + self._conn_tasks:
+            if task is not None:
+                task.kill(reason)
+        self.node.kernel.close_listener(self.port)
+        for sock in self._conn_socks:
+            sock.reset()
+        self._conn_tasks = []
+        self._conn_socks = []
+        self._server_task = None
+        self._dump_task = None
+
+    def restart(self):
+        """Respawn after :meth:`kill` as a fresh process would come up.
+
+        Decoder state and in-memory history died with the old process —
+        formats are re-learned from the descriptors daemons re-send on
+        their fresh connections.  Ingest counters stay cumulative (they
+        live on this object, standing in for the operator's long-lived
+        view of the analyzer).
+        """
+        self.registry = encoding.FormatRegistry()
+        self.frame_decoder = encoding.FrameDecoder(self.registry)
+        self.interactions.clear()
+        self.class_summaries.clear()
+        self.cpa_metrics.clear()
+        self.syscall_summaries.clear()
+        self.node_stats.clear()
+        self.subscribe_all()  # idempotent; re-asserts hub registration
+        self.restarts += 1
+        return self.start()
+
     def _server(self, ctx):
         lsock = yield from ctx.listen(self.port)
         while not self._stopped:
             sock = yield from ctx.accept(lsock)
-            ctx.spawn("gpa-conn", self._handler, sock)
+            self._conn_socks.append(sock)
+            self._conn_tasks.append(ctx.spawn("gpa-conn", self._handler, sock))
 
     def _handler(self, ctx, sock):
         while True:
@@ -363,4 +404,5 @@ class GlobalPerformanceAnalyzer:
             "decode_errors": self.decode_errors,
             "dumps_written": self.dumps_written,
             "queries_served": self.queries_served,
+            "restarts": self.restarts,
         }

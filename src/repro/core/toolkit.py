@@ -49,6 +49,11 @@ class SysProfConfig:
     text_encoding: bool = False  # ablation: ship text instead of PBIO binary
     frame_dissemination: bool = True  # batched frames (False: per-record blobs)
     daemon_affinity: int = None  # pin sysprofd to a core (SMP nodes)
+    # Daemon reconnect pacing towards dead/unreachable subscribers.
+    reconnect_backoff_base: float = 0.05
+    reconnect_backoff_cap: float = 2.0
+    reconnect_backoff_jitter: float = 0.25
+    reconnect_max_retries: int = 12
     extra: dict = field(default_factory=dict)
 
 
@@ -135,6 +140,10 @@ class SysProf:
             text_encoding=config.text_encoding,
             affinity=affinity,
             frame_mode=config.frame_dissemination,
+            reconnect_backoff_base=config.reconnect_backoff_base,
+            reconnect_backoff_cap=config.reconnect_backoff_cap,
+            reconnect_backoff_jitter=config.reconnect_backoff_jitter,
+            reconnect_max_retries=config.reconnect_max_retries,
         )
         daemon.add_lpa(interaction_lpa)
         nodestats_lpa = None

@@ -15,6 +15,12 @@ from repro.experiments.microbench import (
     run_headline_experiments,
 )
 from repro.experiments.runner import available_jobs, derive_seed, run_points
+from repro.experiments.failures import (
+    FailureExperimentConfig,
+    FailureRunResult,
+    run_failure_experiment,
+    run_failure_suite,
+)
 from repro.experiments.nfs_storage import (
     NfsExperimentConfig,
     NfsRunResult,
@@ -30,6 +36,8 @@ from repro.experiments.rubis_qos import (
 )
 
 __all__ = [
+    "FailureExperimentConfig",
+    "FailureRunResult",
     "NfsExperimentConfig",
     "NfsRunResult",
     "OverheadResult",
@@ -46,6 +54,8 @@ __all__ = [
     "monitoring_cost_experiment",
     "overhead_range_experiment",
     "run_comparison",
+    "run_failure_experiment",
+    "run_failure_suite",
     "run_headline_experiments",
     "run_nfs_experiment",
     "run_points",

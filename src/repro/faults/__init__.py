@@ -1,0 +1,15 @@
+"""Deterministic, schedule-driven fault injection.
+
+Failures are a first-class workload: a :class:`FaultSchedule` scripts
+crash/restart, link and partition windows at simulated times, and a
+:class:`FaultInjector` arms them against a cluster (and optionally a
+SysProf installation).  All randomness comes from named substreams of
+the cluster's seeded RNG, drawn only when a fault actually needs it, so
+same-seed runs are bit-identical — including runs with an empty
+schedule, which are byte-for-byte the runs without an injector at all.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.schedule import FaultEvent, FaultSchedule, ScheduleError
+
+__all__ = ["FaultEvent", "FaultInjector", "FaultSchedule", "ScheduleError"]

@@ -1,0 +1,167 @@
+"""Arms a :class:`~repro.faults.schedule.FaultSchedule` against a cluster.
+
+The injector translates scripted events into simulator callbacks at arm
+time, so firing them costs no model CPU anywhere — faults are acts of
+god, not workload.  Each fired event is appended to ``injector.log``
+with its actual simulated time for post-run assertions.
+
+Connection teardown semantics: the socket layer has no retransmission,
+so a connection straddling a downed link or a partition boundary can
+never make progress again — in-flight bytes are gone and flow-control
+credits would leak, wedging the sender forever.  The injector therefore
+aborts such connections on both ends when the fault lands (standing in
+for the retransmission-timeout expiry a real TCP stack would hit),
+delivering EOF to readers and :class:`~repro.sim.errors.ConnectionReset`
+to writers.
+"""
+
+from repro.faults import schedule as sched
+from repro.sim.errors import SimError
+
+
+class FaultInjector:
+    """Schedules and fires faults; one per run."""
+
+    def __init__(self, cluster, sysprof=None, rng_name="faults.jitter"):
+        self.cluster = cluster
+        self.sysprof = sysprof
+        self.rng_name = rng_name
+        self.log = []  # [{"at": fired_time, "kind": ..., "target": ...}]
+        self.fired = 0
+        self._armed = False
+        self._rng = None
+        self._handlers = {
+            sched.KIND_DAEMON_KILL: self._do_daemon_kill,
+            sched.KIND_DAEMON_RESTART: self._do_daemon_restart,
+            sched.KIND_GPA_KILL: self._do_gpa_kill,
+            sched.KIND_GPA_RESTART: self._do_gpa_restart,
+            sched.KIND_NODE_CRASH: self._do_node_crash,
+            sched.KIND_LINK_DOWN: self._do_link_down,
+            sched.KIND_LINK_UP: self._do_link_up,
+            sched.KIND_PARTITION: self._do_partition,
+            sched.KIND_HEAL: self._do_heal,
+        }
+
+    # ------------------------------------------------------------------
+
+    def arm(self, schedule):
+        """Validate ``schedule`` and register every event with the sim.
+
+        Jittered events resolve their one RNG draw here, in schedule
+        order, so the draw sequence — hence the whole run — depends only
+        on (seed, schedule).  A schedule with no jittered events never
+        touches the RNG at all.
+        """
+        if self._armed:
+            raise SimError("injector already armed")
+        schedule.validate()
+        sim = self.cluster.sim
+        for event in schedule.events():
+            at = event.at
+            if event.jitter:
+                at += event.jitter * self._jitter_rng().random()
+            if at < sim.now:
+                raise SimError(
+                    "fault {} at {} is in the past (now {})".format(
+                        event.kind, at, sim.now
+                    )
+                )
+            sim.schedule(at - sim.now, self._fire, event)
+        self._armed = True
+        return self
+
+    def _jitter_rng(self):
+        if self._rng is None:
+            self._rng = self.cluster.streams.stream(self.rng_name)
+        return self._rng
+
+    def _fire(self, event):
+        self._handlers[event.kind](event)
+        self.fired += 1
+        self.log.append(
+            {
+                "at": self.cluster.sim.now,
+                "kind": event.kind,
+                "target": event.target,
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # handlers
+    # ------------------------------------------------------------------
+
+    def _monitor(self, name):
+        if self.sysprof is None:
+            raise SimError("daemon faults need a SysProf installation")
+        return self.sysprof.monitor(name)
+
+    def _do_daemon_kill(self, event):
+        self._monitor(event.target).daemon.kill(
+            "fault:{}".format(event.kind)
+        )
+
+    def _do_daemon_restart(self, event):
+        self._monitor(event.target).daemon.restart()
+
+    def _do_gpa_kill(self, event):
+        if self.sysprof is None or self.sysprof.gpa is None:
+            raise SimError("gpa faults need an installed GPA")
+        self.sysprof.gpa.kill("fault:{}".format(event.kind))
+
+    def _do_gpa_restart(self, event):
+        self.sysprof.gpa.restart()
+
+    def _do_node_crash(self, event):
+        node = self.cluster.node(event.target)
+        # Monitoring components on the node get their bookkeeping torn
+        # down first (pending notification waiters, publish sockets);
+        # kernel.crash then kills whatever tasks remain.
+        if self.sysprof is not None:
+            monitor = self.sysprof.monitors.get(event.target)
+            if monitor is not None:
+                monitor.daemon.kill("fault:{}".format(event.kind))
+            gpa = self.sysprof.gpa
+            if gpa is not None and gpa.node.name == event.target:
+                gpa.kill("fault:{}".format(event.kind))
+        node.crash("fault:{}".format(event.kind))
+
+    def _do_link_down(self, event):
+        ip = self.cluster.node(event.target).ip
+        self.cluster.fabric.set_link_admin(ip, False)
+        self._abort_connections(
+            lambda sock: (sock.local.ip == ip) != (sock.remote.ip == ip)
+        )
+
+    def _do_link_up(self, event):
+        ip = self.cluster.node(event.target).ip
+        self.cluster.fabric.set_link_admin(ip, True)
+
+    def _do_partition(self, event):
+        groups = [
+            [self.cluster.node(name).ip for name in group]
+            for group in event.params["groups"]
+        ]
+        self.cluster.fabric.partition(*groups)
+        crosses = self.cluster.fabric.switch.crosses_partition
+        self._abort_connections(
+            lambda sock: crosses(sock.local.ip, sock.remote.ip)
+        )
+
+    def _do_heal(self, event):
+        self.cluster.fabric.heal()
+
+    def _abort_connections(self, crossing):
+        """RTO stand-in: abort every established connection the fault cut."""
+        for node in self.cluster.nodes.values():
+            for sock in list(node.kernel._sockets.values()):
+                if sock.remote is not None and crossing(sock):
+                    sock.abort()
+
+    # ------------------------------------------------------------------
+
+    def summary(self):
+        """Fired-event counts by kind (for reports and tests)."""
+        counts = {}
+        for entry in self.log:
+            counts[entry["kind"]] = counts.get(entry["kind"], 0) + 1
+        return counts

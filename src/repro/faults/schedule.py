@@ -1,0 +1,203 @@
+"""Fault schedules: what breaks, when, and for how long.
+
+A schedule is pure data — building one touches no simulator state and
+draws no randomness, so schedules can be constructed, serialized,
+diffed, and replayed.  The :class:`~repro.faults.injector.FaultInjector`
+resolves it against a live cluster at arm time.
+"""
+
+KIND_DAEMON_KILL = "daemon_kill"
+KIND_DAEMON_RESTART = "daemon_restart"
+KIND_GPA_KILL = "gpa_kill"
+KIND_GPA_RESTART = "gpa_restart"
+KIND_NODE_CRASH = "node_crash"
+KIND_LINK_DOWN = "link_down"
+KIND_LINK_UP = "link_up"
+KIND_PARTITION = "partition"
+KIND_HEAL = "heal"
+
+KINDS = frozenset(
+    {
+        KIND_DAEMON_KILL,
+        KIND_DAEMON_RESTART,
+        KIND_GPA_KILL,
+        KIND_GPA_RESTART,
+        KIND_NODE_CRASH,
+        KIND_LINK_DOWN,
+        KIND_LINK_UP,
+        KIND_PARTITION,
+        KIND_HEAL,
+    }
+)
+
+# Kinds whose target names a node; the rest target the whole fabric/GPA.
+_NODE_TARGET_KINDS = frozenset(
+    {
+        KIND_DAEMON_KILL,
+        KIND_DAEMON_RESTART,
+        KIND_NODE_CRASH,
+        KIND_LINK_DOWN,
+        KIND_LINK_UP,
+    }
+)
+
+
+class ScheduleError(ValueError):
+    """A schedule entry is malformed (unknown kind, bad time, bad target)."""
+
+
+class FaultEvent:
+    """One scripted fault: ``kind`` hits ``target`` at simulated time ``at``.
+
+    ``jitter`` adds up to that many seconds of seeded random delay,
+    resolved with exactly one RNG draw at arm time (zero jitter draws
+    nothing).  ``seq`` preserves authoring order among same-time events.
+    """
+
+    __slots__ = ("at", "kind", "target", "params", "jitter", "seq")
+
+    def __init__(self, at, kind, target=None, params=None, jitter=0.0, seq=0):
+        self.at = float(at)
+        self.kind = kind
+        self.target = target
+        self.params = dict(params or {})
+        self.jitter = float(jitter)
+        self.seq = seq
+
+    def validate(self):
+        if self.kind not in KINDS:
+            raise ScheduleError("unknown fault kind: {!r}".format(self.kind))
+        if self.at < 0.0:
+            raise ScheduleError(
+                "fault time must be >= 0, got {}".format(self.at)
+            )
+        if self.jitter < 0.0:
+            raise ScheduleError("jitter must be >= 0")
+        if self.kind in _NODE_TARGET_KINDS and not self.target:
+            raise ScheduleError("{} requires a target node".format(self.kind))
+        if self.kind == KIND_PARTITION:
+            groups = self.params.get("groups")
+            if not groups or not all(group for group in groups):
+                raise ScheduleError("partition requires non-empty groups")
+
+    def to_dict(self):
+        entry = {"at": self.at, "kind": self.kind}
+        if self.target is not None:
+            entry["target"] = self.target
+        if self.params:
+            entry["params"] = {
+                key: [list(group) for group in value] if key == "groups" else value
+                for key, value in self.params.items()
+            }
+        if self.jitter:
+            entry["jitter"] = self.jitter
+        return entry
+
+    def __repr__(self):
+        return "<FaultEvent t={:.3f} {} {}>".format(
+            self.at, self.kind, self.target or self.params or ""
+        )
+
+
+class FaultSchedule:
+    """An ordered script of :class:`FaultEvent`.
+
+    Builder methods return ``self`` for chaining; ``*_outage`` /
+    ``partition_window`` helpers script the down *and* up sides of a
+    failure window in one call.
+    """
+
+    def __init__(self):
+        self._events = []
+
+    def __len__(self):
+        return len(self._events)
+
+    def __repr__(self):
+        return "<FaultSchedule {} events>".format(len(self._events))
+
+    def add(self, at, kind, target=None, params=None, jitter=0.0):
+        event = FaultEvent(
+            at, kind, target=target, params=params, jitter=jitter,
+            seq=len(self._events),
+        )
+        event.validate()
+        self._events.append(event)
+        return self
+
+    # -- daemon / GPA process faults ------------------------------------
+
+    def kill_daemon(self, at, node, jitter=0.0):
+        return self.add(at, KIND_DAEMON_KILL, target=node, jitter=jitter)
+
+    def restart_daemon(self, at, node, jitter=0.0):
+        return self.add(at, KIND_DAEMON_RESTART, target=node, jitter=jitter)
+
+    def daemon_outage(self, start, duration, node, jitter=0.0):
+        self.kill_daemon(start, node, jitter=jitter)
+        return self.restart_daemon(start + duration, node, jitter=jitter)
+
+    def kill_gpa(self, at, jitter=0.0):
+        return self.add(at, KIND_GPA_KILL, jitter=jitter)
+
+    def restart_gpa(self, at, jitter=0.0):
+        return self.add(at, KIND_GPA_RESTART, jitter=jitter)
+
+    def gpa_outage(self, start, duration, jitter=0.0):
+        self.kill_gpa(start, jitter=jitter)
+        return self.restart_gpa(start + duration, jitter=jitter)
+
+    # -- whole-node crash ------------------------------------------------
+
+    def crash_node(self, at, node, jitter=0.0):
+        return self.add(at, KIND_NODE_CRASH, target=node, jitter=jitter)
+
+    # -- network faults --------------------------------------------------
+
+    def link_down(self, at, node, jitter=0.0):
+        return self.add(at, KIND_LINK_DOWN, target=node, jitter=jitter)
+
+    def link_up(self, at, node, jitter=0.0):
+        return self.add(at, KIND_LINK_UP, target=node, jitter=jitter)
+
+    def link_outage(self, start, duration, node, jitter=0.0):
+        self.link_down(start, node, jitter=jitter)
+        return self.link_up(start + duration, node, jitter=jitter)
+
+    def partition(self, at, groups, jitter=0.0):
+        groups = [list(group) for group in groups]
+        return self.add(at, KIND_PARTITION, params={"groups": groups}, jitter=jitter)
+
+    def heal(self, at, jitter=0.0):
+        return self.add(at, KIND_HEAL, jitter=jitter)
+
+    def partition_window(self, start, duration, groups, jitter=0.0):
+        self.partition(start, groups, jitter=jitter)
+        return self.heal(start + duration, jitter=jitter)
+
+    # -- access / serialization ------------------------------------------
+
+    def events(self):
+        """Events in firing order (time, then authoring order)."""
+        return sorted(self._events, key=lambda event: (event.at, event.seq))
+
+    def validate(self):
+        for event in self._events:
+            event.validate()
+        return self
+
+    def to_dict(self):
+        return {"events": [event.to_dict() for event in self.events()]}
+
+    @classmethod
+    def from_dict(cls, data):
+        schedule = cls()
+        for entry in data.get("events", ()):
+            schedule.add(
+                entry["at"],
+                entry["kind"],
+                target=entry.get("target"),
+                params=entry.get("params"),
+                jitter=entry.get("jitter", 0.0),
+            )
+        return schedule

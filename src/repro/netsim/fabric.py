@@ -44,9 +44,42 @@ class Fabric:
     def address(self, ip, port):
         return Address(ip, port)
 
+    # -- failure injection hooks ----------------------------------------
+
+    def set_link_admin(self, ip, up):
+        """Raise/lower both directions of the port serving ``ip``."""
+        self.switch.set_port_admin(ip, up)
+
+    def link_admin(self, ip):
+        return self.switch.port_admin(ip)
+
+    def partition(self, *groups):
+        """Partition the switch into isolated IP groups; see Switch.partition."""
+        self.switch.partition(*groups)
+
+    def heal(self):
+        self.switch.heal()
+
+    def reachable(self, src_ip, dst_ip):
+        """Whether a packet from ``src_ip`` can currently reach ``dst_ip``.
+
+        Consulted by connection establishment (the handshake is simulated
+        as a latency wait, not wire packets, so it must ask the fabric
+        instead of discovering the outage the hard way).
+        """
+        if src_ip == dst_ip:
+            return True
+        if self.switch.crosses_partition(src_ip, dst_ip):
+            return False
+        for ip in (src_ip, dst_ip):
+            if ip in self.nics and not self.switch.port_admin(ip):
+                return False
+        return True
+
     def stats(self):
         return {
             "forwarded": self.switch.forwarded,
             "unroutable": self.switch.unroutable,
+            "partition_dropped": self.switch.partition_dropped,
             "ports": {ip: self.switch.port_stats(ip) for ip in self.nics},
         }

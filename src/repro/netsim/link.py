@@ -33,11 +33,22 @@ class Link:
         self._deliver = deliver
         self._rng = rng
         self._queue = Store(sim)
+        self.admin_up = True
         self.tx_packets = 0
         self.tx_bytes = 0
         self.dropped = 0
+        self.admin_dropped = 0
         self.busy_time = 0.0
         sim.process(self._pump(), name="{}-pump".format(name))
+
+    def set_admin(self, up):
+        """Administratively raise/lower the link.
+
+        Distinct from ``loss_rate``: while down, every packet is dropped
+        deterministically after serialization (the wire still clocks bits
+        out; they just go nowhere), counted in ``admin_dropped``.
+        """
+        self.admin_up = bool(up)
 
     def transmit(self, packet):
         """Queue a packet for transmission (never blocks the caller)."""
@@ -69,6 +80,9 @@ class Link:
             self.tx_bytes += packet.wire_size
             if done is not None:
                 done.succeed(packet)
+            if not self.admin_up:
+                self.admin_dropped += 1
+                continue
             if self.loss_rate and self._rng.random() < self.loss_rate:
                 self.dropped += 1
                 continue

@@ -23,8 +23,10 @@ class Switch:
         self._rng = rng
         self._downlinks = {}  # ip -> Link towards that NIC
         self._uplinks = {}  # ip -> Link from that NIC into the switch
+        self._partition = {}  # ip -> group index; unmapped ips are unrestricted
         self.forwarded = 0
         self.unroutable = 0
+        self.partition_dropped = 0
 
     def attach(self, nic, bandwidth_bps=None, latency=None):
         """Attach a NIC; per-port bandwidth/latency may override the default."""
@@ -45,10 +47,54 @@ class Switch:
         nic.attach(uplink)
         return downlink
 
+    def set_port_admin(self, ip, up):
+        """Raise/lower both directions of the port serving ``ip``."""
+        if ip not in self._downlinks:
+            raise KeyError("no port for ip {}".format(ip))
+        self._downlinks[ip].set_admin(up)
+        self._uplinks[ip].set_admin(up)
+
+    def port_admin(self, ip):
+        """True when both directions of the port serving ``ip`` are up."""
+        return self._downlinks[ip].admin_up and self._uplinks[ip].admin_up
+
+    def partition(self, *groups):
+        """Split attached IPs into isolated groups (cross-group drops).
+
+        Each argument is an iterable of IPs forming one side.  IPs left
+        out of every group keep full connectivity — so a management node
+        can still see both halves of a split, as in the real incidents
+        the paper diagnoses.
+        """
+        mapping = {}
+        for index, group in enumerate(groups):
+            for ip in group:
+                if ip in mapping:
+                    raise ValueError("ip {} in more than one group".format(ip))
+                mapping[ip] = index
+        self._partition = mapping
+
+    def heal(self):
+        """Remove any active partition."""
+        self._partition = {}
+
+    def crosses_partition(self, src_ip, dst_ip):
+        """True when a packet between the two IPs would be dropped."""
+        if not self._partition:
+            return False
+        src_group = self._partition.get(src_ip)
+        dst_group = self._partition.get(dst_ip)
+        if src_group is None or dst_group is None:
+            return False
+        return src_group != dst_group
+
     def _forward(self, packet):
         downlink = self._downlinks.get(packet.dst.ip)
         if downlink is None:
             self.unroutable += 1
+            return
+        if self.crosses_partition(packet.src.ip, packet.dst.ip):
+            self.partition_dropped += 1
             return
         self.forwarded += 1
         if self.forward_delay:

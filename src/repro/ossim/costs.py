@@ -80,6 +80,13 @@ class CostModel:
     # ``record_encode * (1 + text_encode_multiplier)`` in total).
     # Referenced from docs/performance.md ("Dissemination path").
     text_encode_multiplier: float = 9.0
+    # Re-dial bookkeeping on the dissemination daemon's failure path:
+    # tearing down + re-arming an endpoint after a failed publish, and
+    # the cheap clock check deciding whether an endpoint is still inside
+    # its backoff window.  Charged so recovery overhead stays emergent
+    # in the CPU accounting rather than free.
+    daemon_reconnect: float = 5e-6
+    daemon_backoff_probe: float = 0.1e-6
 
     extra: dict = field(default_factory=dict)
 

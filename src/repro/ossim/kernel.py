@@ -15,7 +15,7 @@ from repro.ossim.task import BAND_USER, TASK_EXITED, Task
 from repro.ossim.tracepoints import NULL_TRACEPOINTS
 from repro.ossim import tracepoints as tp
 from repro.ossim.vfs import Vfs
-from repro.sim.errors import Interrupt, SimError
+from repro.sim.errors import ConnectionReset, Interrupt, SimError
 
 
 class IdentityClock:
@@ -126,6 +126,10 @@ class Kernel:
         except Interrupt as interrupt:
             # Killed (crash injection, signal): the task dies quietly.
             task.exit_value = ("killed", interrupt.cause)
+        except ConnectionReset as error:
+            # Unhandled ECONNRESET kills the task, not the simulation —
+            # the real process would die on the uncaught error too.
+            task.exit_value = ("connection-reset", str(error))
         finally:
             task.state = TASK_EXITED
             task.exited_at = self.sim.now
@@ -197,6 +201,34 @@ class Kernel:
 
     def release_socket(self, sock):
         self._sockets.pop((sock.local.port, tuple(sock.remote)), None)
+
+    def close_listener(self, port):
+        """Tear down a listening socket (owner died); resets its backlog."""
+        lsock = self._listeners.pop(port, None)
+        if lsock is None:
+            return
+        lsock.state = SOCK_CLOSED
+        while True:
+            ok, sock = lsock.backlog.try_get()
+            if not ok:
+                break
+            if sock is not None:
+                sock.reset()
+
+    def crash(self, reason="crash"):
+        """Hard-stop the node: every task dies, every connection resets.
+
+        Models a power failure — nothing gets to run a cleanup path, and
+        peers observe resets (after one-way latency) rather than FINs.
+        """
+        for task in list(self.tasks.values()):
+            if task.state != TASK_EXITED:
+                task.kill(reason)
+        for sock in list(self._sockets.values()):
+            sock.reset()
+        for port in list(self._listeners):
+            self.close_listener(port)
+        self._sockets.clear()
 
     def one_way_latency(self, remote_kernel):
         if self.cluster is not None:

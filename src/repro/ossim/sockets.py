@@ -19,7 +19,7 @@ from collections import deque
 from itertools import count
 
 from repro.sim.engine import Waitable
-from repro.sim.errors import SimError
+from repro.sim.errors import ConnectionReset, SimError
 from repro.sim.resources import Resource, Store
 
 _message_ids = count(1)
@@ -97,6 +97,13 @@ class ByteCredits:
             self.available -= needed
             grant.succeed(needed)
 
+    def fail_waiters(self, exc):
+        """Fail every pending acquire (connection torn down under a sender)."""
+        waiters, self._waiters = self._waiters, deque()
+        for _needed, grant in waiters:
+            if not grant.triggered:
+                grant.fail(exc)
+
     @property
     def in_flight(self):
         return self.capacity - self.available
@@ -119,6 +126,7 @@ class Socket:
         self.tx_lock = Resource(kernel.sim, capacity=1)
         self.ack_delay = 0.0
         self.owner_pid = None
+        self.reset_by_peer = False
         self.bytes_sent = 0
         self.bytes_received = 0
         self.messages_sent = 0
@@ -164,6 +172,35 @@ class Socket:
         if peer is not None and peer.state != SOCK_CLOSED:
             # FIN reaches the peer after one-way latency.
             self.kernel.sim.schedule(self.ack_delay, peer.rx_queue.put, None)
+
+    def reset(self):
+        """Abort the connection (owner crashed or was killed).
+
+        Unlike :meth:`close`, no orderly FIN is sent: the peer observes a
+        reset after one-way latency — readers wake with EOF, writers (both
+        blocked and future ones) fail with
+        :class:`~repro.sim.errors.ConnectionReset`.
+        """
+        if self.state == SOCK_CLOSED:
+            return
+        self.state = SOCK_CLOSED
+        self.kernel.release_socket(self)
+        peer = self.peer
+        if peer is not None:
+            self.kernel.sim.schedule(self.ack_delay, peer.abort)
+
+    def abort(self):
+        """Peer-side arrival of a reset: RST semantics on this endpoint."""
+        if self.reset_by_peer:
+            return
+        self.reset_by_peer = True
+        self.state = SOCK_CLOSED
+        self.kernel.release_socket(self)
+        self.rx_queue.put(None)
+        if self.tx_credits is not None:
+            self.tx_credits.fail_waiters(
+                ConnectionReset("connection reset by peer: {}".format(self))
+            )
 
 
 class ListeningSocket:

@@ -11,7 +11,7 @@ application.
 from repro.ossim.sockets import AppMessage
 from repro.ossim.task import BAND_USER
 from repro.ossim import tracepoints as tp
-from repro.sim.errors import SimError
+from repro.sim.errors import ConnectionReset, SimError
 
 
 class TaskContext:
@@ -109,6 +109,16 @@ class TaskContext:
         yield from self.kernel.block_wait(
             self.task, self.sim.timeout(rtt), reason="connect"
         )
+        fabric = getattr(self.kernel.cluster, "fabric", None)
+        if fabric is not None and not fabric.reachable(
+            self.kernel.ip, remote_kernel.ip
+        ):
+            # SYN lost to an admin-down port or a partition: the caller
+            # pays the handshake round-trip before the failure surfaces.
+            yield from self._sys_exit("connect")
+            raise SimError(
+                "no route to host: {} -> {}".format(self.kernel.name, remote)
+            )
         sock = self.kernel.open_connection(
             self.kernel.allocate_port(), remote_kernel, port
         )
@@ -120,6 +130,10 @@ class TaskContext:
         """Send an application message of ``size`` bytes; returns it."""
         if sock.remote is None:
             raise SimError("send on unconnected socket")
+        if sock.reset_by_peer:
+            raise ConnectionReset(
+                "connection reset by peer: {}".format(sock)
+            )
         message = AppMessage(size, kind=kind, meta=meta)
         sock.owner_pid = self.task.pid
         yield from self._sys_enter("send")

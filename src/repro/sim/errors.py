@@ -26,3 +26,13 @@ class Interrupt(SimError):
 
 class ProcessCrashed(SimError):
     """A process generator raised an exception nobody was waiting for."""
+
+
+class ConnectionReset(SimError):
+    """The peer endpoint of a socket died (crash / kill / partition teardown).
+
+    Raised out of ``send`` syscalls on the surviving side, mirroring
+    ECONNRESET.  Tasks that do not catch it exit with a
+    ``("connection-reset", ...)`` exit value rather than crashing the
+    simulation — a real process would die on the unhandled error too.
+    """

@@ -104,6 +104,15 @@ class Store:
             self._getters.append(got)
         return got
 
+    def cancel_get(self, got):
+        """Withdraw a pending ``get()`` waitable before an item arrives.
+
+        Used when the waiting process dies (crash injection): without the
+        cancel, the stale waiter would consume — and lose — the next item.
+        """
+        if got in self._getters:
+            self._getters.remove(got)
+
     def try_get(self):
         """Non-blocking get; returns ``(True, item)`` or ``(False, None)``."""
         if self.items:

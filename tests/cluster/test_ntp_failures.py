@@ -1,0 +1,76 @@
+"""NTP sync under contention and deadline pressure.
+
+Regression targets: the old ``_ntpd`` served one connection at a time
+(a second sync client waited for the first to hang up), and
+``synchronize`` returned a partial :class:`ClockTable` silently when the
+deadline expired.
+"""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.cluster.ntp import NTP_PORT, NtpSync, NtpSyncTimeout, synchronize
+
+
+def _cluster(*names, seed=19):
+    cluster = Cluster(seed=seed)
+    for name in names:
+        cluster.add_node(name)
+    return cluster
+
+
+def test_ntpd_serves_concurrent_clients():
+    """A slow client holding its connection must not starve a second one."""
+    cluster = _cluster("ref", "srv", "other")
+    NtpSync(cluster, "ref").start_servers()  # ntpd on srv and other
+    finished = {}
+
+    def probe(ctx, label, start_delay, hold):
+        if start_delay:
+            yield from ctx.sleep(start_delay)
+        sock = yield from ctx.connect("srv", NTP_PORT)
+        yield from ctx.send_message(sock, 90, kind="ntp-request")
+        reply = yield from ctx.recv_message(sock)
+        assert reply is not None
+        finished[label] = ctx.now
+        if hold:
+            yield from ctx.sleep(hold)  # keep the connection open
+        yield from ctx.close(sock)
+
+    cluster.node("ref").spawn("slow", probe, "slow", 0.0, 5.0)
+    cluster.node("other").spawn("fast", probe, "fast", 0.01, 0.0)
+    cluster.run(until=1.0)
+    # With the old single-connection ntpd the fast client's exchange
+    # would only complete after the slow client disconnects at t=5.
+    assert "fast" in finished
+    assert finished["fast"] < 0.5
+
+
+def test_synchronize_complete_pass_is_not_partial():
+    cluster = _cluster("ref", "a", "b")
+    table = synchronize(cluster, "ref", rounds=2)
+    assert table.partial is False
+    assert table.missing == ()
+    assert table.known("a") and table.known("b")
+
+
+def test_synchronize_deadline_strict_raises_with_partial_table():
+    cluster = _cluster("ref", "a", "b")
+    with pytest.raises(NtpSyncTimeout) as excinfo:
+        synchronize(cluster, "ref", rounds=4, deadline=0.001)
+    table = excinfo.value.table
+    assert table.partial is True
+    assert table.missing  # at least one target unmeasured
+    assert set(table.missing) <= {"a", "b"}
+    for name in table.missing:
+        assert not table.known(name)
+
+
+def test_synchronize_deadline_nonstrict_warns_and_flags():
+    cluster = _cluster("ref", "a", "b")
+    with pytest.warns(UserWarning, match="ntp sync deadline"):
+        table = synchronize(
+            cluster, "ref", rounds=4, deadline=0.001, strict=False
+        )
+    assert table.partial is True
+    assert table.missing

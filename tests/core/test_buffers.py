@@ -94,6 +94,33 @@ def test_switch_empty_is_noop(kernel):
     assert buffer.switches == 0
 
 
+def test_switch_empty_identical_forced_or_not(kernel):
+    """The emptiness guard is the same regardless of ``force``: nothing
+    is handed off, no switch is counted, and no irq time is charged."""
+    buffer = DoubleBuffer(kernel, 4)
+    busy_before = kernel.cpu.busy_time
+    assert buffer.switch() is None
+    assert buffer.switch(force=True) is None
+    kernel.sim.run()
+    assert buffer.switches == 0
+    assert kernel.cpu.busy_time == busy_before
+
+
+def test_forced_and_organic_switch_hand_off_identically(kernel):
+    """Force only relaxes the fullness requirement — the hand-off path
+    (sequence number, notification, drain contents) is the same one."""
+    handoffs = []
+    buffer = DoubleBuffer(kernel, 2, on_full=lambda b, i: handoffs.append(i))
+    buffer.append("a")
+    assert buffer.switch(force=True) == 0  # partial, forced
+    assert buffer.drain(0) == ["a"]
+    buffer.append("b")
+    buffer.append("c")  # fills the other buffer: organic switch
+    assert handoffs == [0, 1]
+    assert buffer.drain(1) == ["b", "c"]
+    assert buffer.records_lost == 0
+
+
 def test_switch_charges_irq_time(kernel):
     buffer = DoubleBuffer(kernel, 1, on_full=lambda b, i: b.drain(i))
     before = kernel.cpu.busy_time

@@ -1,0 +1,106 @@
+"""Administrative link state and switch partitions (fault-injection plane)."""
+
+import pytest
+
+from repro.netsim import Address, Fabric, Link, Packet
+
+
+def _fabric_pair(sim):
+    fabric = Fabric(sim, bandwidth_bps=1e9, latency=10e-6)
+    a = fabric.create_nic()
+    b = fabric.create_nic()
+    received = []
+    a.rx_handler = lambda packet: received.append(("a", packet))
+    b.rx_handler = lambda packet: received.append(("b", packet))
+    return fabric, a, b, received
+
+
+def test_link_admin_down_drops_after_serialization(sim):
+    delivered = []
+    link = Link(sim, bandwidth_bps=8_000_000, latency=0.0,
+                deliver=lambda p: delivered.append(p))
+    link.set_admin(False)
+    packet = Packet(Address("10.0.0.1", 1), Address("10.0.0.2", 2), 500)
+    link.transmit(packet)
+    sim.run()
+    # The wire still clocked the bits out: tx counted, delivery did not.
+    assert delivered == []
+    assert link.admin_dropped == 1
+    assert link.tx_packets == 1
+    link.set_admin(True)
+    link.transmit(packet)
+    sim.run()
+    assert len(delivered) == 1
+    assert link.admin_dropped == 1
+
+
+def test_switch_port_admin_cuts_both_directions(sim):
+    fabric, a, b, received = _fabric_pair(sim)
+    fabric.set_link_admin(b.ip, False)
+    assert fabric.link_admin(b.ip) is False
+    assert fabric.link_admin(a.ip) is True
+    a.enqueue(Packet(Address(a.ip, 1), Address(b.ip, 2), 200))
+    b.enqueue(Packet(Address(b.ip, 2), Address(a.ip, 1), 200))
+    sim.run()
+    assert received == []
+    fabric.set_link_admin(b.ip, True)
+    a.enqueue(Packet(Address(a.ip, 1), Address(b.ip, 2), 200))
+    sim.run()
+    assert [dest for dest, _ in received] == ["b"]
+
+
+def test_switch_port_admin_unknown_ip_raises(sim):
+    fabric = Fabric(sim)
+    fabric.create_nic()
+    with pytest.raises(KeyError):
+        fabric.switch.set_port_admin("10.9.9.9", False)
+
+
+def test_partition_drops_cross_group_only(sim):
+    fabric, a, b, received = _fabric_pair(sim)
+    mgmt = fabric.create_nic()
+    mgmt.rx_handler = lambda packet: received.append(("m", packet))
+    fabric.partition([a.ip], [b.ip])  # mgmt stays unmapped
+    a.enqueue(Packet(Address(a.ip, 1), Address(b.ip, 2), 200))   # dropped
+    a.enqueue(Packet(Address(a.ip, 1), Address(mgmt.ip, 2), 200))  # passes
+    b.enqueue(Packet(Address(b.ip, 2), Address(mgmt.ip, 2), 200))  # passes
+    sim.run()
+    assert sorted(dest for dest, _ in received) == ["m", "m"]
+    assert fabric.switch.partition_dropped == 1
+    assert fabric.stats()["partition_dropped"] == 1
+    fabric.heal()
+    a.enqueue(Packet(Address(a.ip, 1), Address(b.ip, 2), 200))
+    sim.run()
+    assert ("b", received[-1][1]) == received[-1]
+
+
+def test_partition_rejects_overlapping_groups(sim):
+    fabric = Fabric(sim)
+    a = fabric.create_nic()
+    b = fabric.create_nic()
+    with pytest.raises(ValueError):
+        fabric.partition([a.ip], [a.ip, b.ip])
+
+
+def test_reachable_matrix(sim):
+    fabric = Fabric(sim)
+    a = fabric.create_nic()
+    b = fabric.create_nic()
+    mgmt = fabric.create_nic()
+    assert fabric.reachable(a.ip, b.ip)
+    assert fabric.reachable(a.ip, a.ip)  # loopback is always fine
+
+    fabric.partition([a.ip], [b.ip])
+    assert not fabric.reachable(a.ip, b.ip)
+    assert not fabric.reachable(b.ip, a.ip)
+    assert fabric.reachable(a.ip, mgmt.ip)  # unmapped node sees both sides
+    assert fabric.reachable(b.ip, mgmt.ip)
+    fabric.heal()
+    assert fabric.reachable(a.ip, b.ip)
+
+    fabric.set_link_admin(b.ip, False)
+    assert not fabric.reachable(a.ip, b.ip)
+    assert not fabric.reachable(b.ip, mgmt.ip)  # b is dark in both directions
+    assert fabric.reachable(a.ip, mgmt.ip)
+    fabric.set_link_admin(b.ip, True)
+    assert fabric.reachable(a.ip, b.ip)

@@ -42,3 +42,22 @@ def test_microbench_quick(capsys):
     out = capsys.readouterr().out
     assert "linpack" in out
     assert "overhead vs configuration" in out
+
+
+def test_failures_parser_defaults():
+    args = build_parser().parse_args(["failures"])
+    assert args.scenario == "both"
+    assert args.seed == 9
+    assert args.fault_start == 6.0
+    assert args.fault_duration == 5.0
+
+
+def test_failures_command_single_scenario(capsys):
+    assert main([
+        "failures", "--scenario", "daemon-crash",
+        "--fault-start", "3", "--fault-duration", "3",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "failure injection" in out
+    assert "daemon-crash" in out
+    assert "reconnects" in out
