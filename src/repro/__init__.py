@@ -1,8 +1,10 @@
-"""SysProf reproduction: fine-grain online monitoring of distributed systems.
-
-Reproduction of Agarwala & Schwan, "SysProf: Online Distributed Behavior
-Diagnosis through Fine-grain System Monitoring" (ICDCS 2006), built on a
-deterministic discrete-event simulation of a Linux-like cluster.
+"""Reproduction of Agarwala & Schwan, "SysProf: Online Distributed
+Behavior Diagnosis through Fine-grain System Monitoring" (ICDCS 2006),
+built on a deterministic discrete-event simulation of a Linux-like
+cluster.  The toolkit (§2) attaches to the simulated kernels exactly
+where the real system patched Linux, and monitoring work is charged to
+the same simulated CPUs as the workload, so the paper's overhead and
+case-study results (§3) are emergent rather than scripted.
 
 Quickstart::
 

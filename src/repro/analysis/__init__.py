@@ -1,4 +1,7 @@
-"""Higher-level analysis over SysProf output: diagnosis, time series."""
+"""Higher-level analysis over SysProf output: per-node bottleneck
+diagnosis (which resource — CPU, disk, or network — bounds a service,
+as in the paper's §3.2 storage-service walk-through) and time-series
+helpers for watching metrics evolve across a run."""
 
 from repro.analysis.bottleneck import (
     BottleneckReport,

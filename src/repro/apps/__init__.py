@@ -1,1 +1,5 @@
-"""Case-study applications built on the simulated cluster."""
+"""Case-study applications exercised by the paper's evaluation: the
+proxied virtual storage service of §3.2, the RUBiS auction site and
+window-constrained scheduling of §3.3, plus the shared event-driven
+building blocks they are assembled from.  Each app runs unmodified on
+the simulated cluster and is monitored externally by SysProf."""

@@ -1,4 +1,7 @@
-"""Shared application building blocks (event-driven proxy, helpers)."""
+"""Building blocks shared by the case-study applications: an
+event-driven user-level forwarding proxy with pluggable routing
+(hash- or field-based) — the interposition point both the §3.2
+storage service and the §3.3 request dispatcher are built around."""
 
 from repro.apps.common.proxy import ForwardingProxy, field_route, hash_route
 

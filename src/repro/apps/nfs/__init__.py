@@ -1,4 +1,8 @@
-"""The virtual storage service: clients -> user-level proxy -> NFS backends."""
+"""The virtual storage service of paper §3.2: client mounts issue
+NFS-style RPCs (LOOKUP/READ/WRITE/COMMIT) through a user-level
+interposing proxy that fans out to kernel-context NFS backend
+daemons.  SysProf's job in the case study is to locate which tier —
+proxy CPU, backend disk, or network — bounds throughput."""
 
 from repro.apps.nfs import protocol
 from repro.apps.nfs.client import NfsMount

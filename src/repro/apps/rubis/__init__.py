@@ -1,4 +1,8 @@
-"""The RUBiS auction site: front-end, servlet tier, database."""
+"""The RUBiS auction site of paper §3.3: an HTTP front-end router, a
+tier of servlet servers, and a database tier.  Request classes carry
+distinct resource profiles (bidding is CPU-heavy, comment browsing is
+network-heavy), which is what makes per-class SysProf metrics useful
+to the resource-aware dispatcher."""
 
 from repro.apps.rubis.db import DB_PORT, DbServer
 from repro.apps.rubis.requests import BIDDING, COMMENT, PROFILES, Request, RequestProfile

@@ -1,4 +1,7 @@
-"""Window-constrained request scheduling: DWCS and resource-aware DWCS."""
+"""Window-constrained request scheduling for the §3.3 RUBiS study:
+the DWCS algorithm (West/Schwan) plus a resource-aware dispatcher
+that consults SysProf's per-class service-time metrics when routing
+requests, reproducing the paper's SLA-violation comparison."""
 
 from repro.apps.scheduling.dwcs import DwcsScheduler, DwcsStream
 from repro.apps.scheduling.dispatcher import (

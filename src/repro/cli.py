@@ -7,6 +7,8 @@ Usage::
     python -m repro nfs [--threads 1,2,4,8,16] [--ops 20] [--jobs N]
     python -m repro rubis [--scheduler dwcs|radwcs|both] [--duration 20] [--jobs N]
     python -m repro failures [--scenario daemon-crash|partition|both] [--seed N]
+    python -m repro overhead [--smoke] [--threads N]
+    python -m repro trace [--out trace.json] [--smoke]
 
 ``--jobs N`` fans independent sweep points out over N worker processes
 (``--jobs 0`` = one per CPU).  Results are identical to serial runs —
@@ -30,6 +32,8 @@ def _cmd_list(_args):
         ("nfs", "Figures 4 & 5: virtual storage service bottleneck"),
         ("rubis", "Figures 6 & 7: DWCS vs resource-aware DWCS"),
         ("failures", "§3.2 failure detection: scripted outages + stale_nodes"),
+        ("overhead", "per-node CPU attribution: monitoring share vs sampling rate"),
+        ("trace", "Chrome trace-event JSON export (Perfetto) of one NFS run"),
     ]
     print(format_table(("command", "reproduces"), rows))
     return 0
@@ -161,6 +165,66 @@ def _cmd_failures(args):
     return 0
 
 
+def _observe_config(args):
+    from dataclasses import replace
+
+    from repro.experiments.observe import ObservabilityConfig, smoke_config
+
+    config = smoke_config() if args.smoke else ObservabilityConfig()
+    threads = getattr(args, "threads", None)
+    if threads is not None:
+        config = replace(config, threads_per_client=threads)
+    return config
+
+
+def _cmd_overhead(args):
+    from repro.experiments import run_overhead_experiment
+    from repro.experiments.observe import breakdown_rows, monitoring_seconds
+    from repro.observability.ledger import CATEGORIES
+
+    points = run_overhead_experiment(_observe_config(args))
+    headers = ["node"]
+    headers.extend("{} ms".format(c) for c in CATEGORIES if c != "idle")
+    headers.append("monitoring %")
+    for point in points:
+        print(format_table(
+            tuple(headers),
+            breakdown_rows(point),
+            title="{} (eviction {:.2f}s, syscall LPA {})".format(
+                point.label, point.eviction_interval,
+                "on" if point.syscall_stats else "off",
+            ),
+        ))
+        print()
+    if len(points) >= 2:
+        low, high = points[0], points[-1]
+        nodes = sorted(set(low.breakdown) & set(high.breakdown))
+        grew = sum(
+            1 for node in nodes
+            if monitoring_seconds(high, node) > monitoring_seconds(low, node)
+        )
+        print("monitoring CPU grew with the sampling rate on {}/{} nodes "
+              "(paper: perturbation scales with enabled probes)".format(
+                  grew, len(nodes)))
+    return 0
+
+
+def _cmd_trace(args):
+    import json
+
+    from repro.experiments import run_trace_experiment
+    from repro.observability import validate_chrome_trace
+
+    doc, ledger = run_trace_experiment(_observe_config(args), path=args.out)
+    count = validate_chrome_trace(doc)
+    if args.out:
+        print("wrote {} ({} events, {} nodes) — load in ui.perfetto.dev".format(
+            args.out, count, len(ledger.nodes())))
+    else:
+        print(json.dumps(doc))
+    return 0
+
+
 def _jobs(args):
     """Translate the --jobs flag: 1 = serial, 0 = one worker per CPU."""
     jobs = getattr(args, "jobs", 1)
@@ -211,6 +275,22 @@ def build_parser():
     failures.add_argument("--fault-start", type=float, default=6.0)
     failures.add_argument("--fault-duration", type=float, default=5.0)
 
+    overhead = commands.add_parser(
+        "overhead", help="per-node CPU attribution breakdown"
+    )
+    overhead.add_argument("--smoke", action="store_true",
+                          help="tiny workload (CI-sized run)")
+    overhead.add_argument("--threads", type=int, default=None,
+                          help="iozone threads per client")
+
+    trace = commands.add_parser(
+        "trace", help="export a Chrome trace-event JSON (Perfetto)"
+    )
+    trace.add_argument("--out", default="trace.json", metavar="PATH",
+                       help="output path (default trace.json)")
+    trace.add_argument("--smoke", action="store_true",
+                       help="tiny workload (CI-sized run)")
+
     return parser
 
 
@@ -223,6 +303,8 @@ def main(argv=None):
         "nfs": _cmd_nfs,
         "rubis": _cmd_rubis,
         "failures": _cmd_failures,
+        "overhead": _cmd_overhead,
+        "trace": _cmd_trace,
     }[args.command]
     return handler(args)
 

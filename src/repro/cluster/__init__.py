@@ -1,4 +1,8 @@
-"""Multi-node cluster assembly: nodes, clocks, and NTP synchronization."""
+"""Multi-node cluster assembly — the simulated stand-in for the
+paper's physical testbed (§3): ``Node`` machines built from an ossim
+kernel plus a netsim NIC, per-node clocks with drift and offset, and
+an NTP-style synchronization protocol bounding the skew the GPA must
+tolerate when correlating cross-node timestamps."""
 
 from repro.cluster.clock import ClockTable, NodeClock
 from repro.cluster.node import Cluster, Node

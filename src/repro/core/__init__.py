@@ -1,4 +1,10 @@
-"""SysProf: the paper's contribution — fine-grain online distributed monitoring."""
+"""The SysProf toolkit itself — the paper's contribution (§2): Kprof
+in-kernel capture with per-CPU double buffering, local and custom
+performance analyzers (LPA/CPA, the latter compiled at runtime from a
+C subset), PBIO-style binary encoding, the kernel-level
+publish-subscribe dissemination daemon, the global performance
+analyzer (GPA) correlating per-node streams, and the controller that
+retargets monitoring at runtime."""
 
 from repro.core.arm import ArmTracker
 from repro.core.buffers import DoubleBuffer, SingleBuffer

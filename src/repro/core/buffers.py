@@ -11,6 +11,7 @@ buffer the daemon has not drained discards its contents and counts them
 as lost.
 """
 
+from repro.observability import tracer as _trace
 from repro.ossim.task import BAND_IRQ
 
 
@@ -57,17 +58,24 @@ class DoubleBuffer:
             return None
         # Interrupts disabled locally for the swap: charge irq-context CPU.
         self.kernel.cpu.submit(
-            None, self.kernel.costs.buffer_switch, "kernel", band=BAND_IRQ
+            None, self.kernel.costs.buffer_switch, "kernel", band=BAND_IRQ,
+            attribution="analyzer",
         ).defuse()
         other = 1 - active
+        lost = 0
         if not self._drained[other] and self._buffers[other]:
             # Late consumer: overwrite undrained data.
-            self.records_lost += len(self._buffers[other])
+            lost = len(self._buffers[other])
+            self.records_lost += lost
             self._buffers[other].clear()
             self._drained[other] = True
         self._drained[active] = False
         self._active = other
         self.switches += 1
+        if _trace.enabled:
+            _trace.active().buffer_switch(
+                self.kernel.name, self.name, self.kernel.sim.now, lost=lost
+            )
         if self.on_full is not None:
             self.on_full(self, active)
         return active
@@ -116,15 +124,25 @@ class SingleBuffer(DoubleBuffer):
         if not self._buffers[active]:
             return None
         self.kernel.cpu.submit(
-            None, self.kernel.costs.buffer_switch, "kernel", band=BAND_IRQ
+            None, self.kernel.costs.buffer_switch, "kernel", band=BAND_IRQ,
+            attribution="analyzer",
         ).defuse()
         if not self._drained[active]:
-            self.records_lost += len(self._buffers[active])
+            lost = len(self._buffers[active])
+            self.records_lost += lost
             self._buffers[active].clear()
             self._drained[active] = True
+            if _trace.enabled:
+                _trace.active().buffer_switch(
+                    self.kernel.name, self.name, self.kernel.sim.now, lost=lost
+                )
             return None
         self._drained[active] = False
         self.switches += 1
+        if _trace.enabled:
+            _trace.active().buffer_switch(
+                self.kernel.name, self.name, self.kernel.sim.now
+            )
         if self.on_full is not None:
             self.on_full(self, active)
         return active

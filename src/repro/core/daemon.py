@@ -30,6 +30,7 @@ to zero), so same-seed traces are bit-identical across modes.
 """
 
 from repro.core import encoding
+from repro.observability import tracer as _trace
 from repro.ossim.task import BAND_KERNEL
 from repro.sim.resources import Store
 
@@ -120,6 +121,13 @@ class DisseminationDaemon:
             self.task = self.node.spawn(
                 self.name, self._run, band=BAND_KERNEL, affinity=self.affinity
             )
+            # Everything this task does — encode, copy, publish syscalls —
+            # is dissemination work in the attribution ledger.
+            self.task.category = "dissemination"
+            if _trace.enabled:
+                _trace.active().name_thread(
+                    self.node.kernel.name, self.task.pid, self.name
+                )
             self.node.kernel.procfs.register(
                 "/proc/sysprof/daemon", self._render_daemon
             )
@@ -348,6 +356,11 @@ class DisseminationDaemon:
             self.publishes += 1
             if kind == "sysprof-frame":
                 self.frames_published += 1
+            if _trace.enabled:
+                _trace.active().publish(
+                    self.node.kernel.name, self.task.pid if self.task else 0,
+                    channel, len(blob), kind, ctx.now,
+                )
 
     def _ensure_format_sent(self, ctx, sock, endpoint, fmt):
         sent = self._formats_sent.get(endpoint)

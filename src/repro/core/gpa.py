@@ -78,6 +78,10 @@ class GlobalPerformanceAnalyzer:
         self.syscall_summaries = deque(maxlen=history)
         self.node_stats = {}  # node -> deque of samples
         self.records_received = 0
+        # Frames decoded by decoders that died with past processes; keeps
+        # the stats() "frames_received" counter cumulative across restarts
+        # like every other ingest counter (it used to silently reset).
+        self.frames_received_base = 0
         self.decode_errors = 0
         self.queries_served = 0
         self.dump_path = dump_path
@@ -108,8 +112,10 @@ class GlobalPerformanceAnalyzer:
     def start(self):
         if self._server_task is None:
             self._server_task = self.node.spawn("gpa", self._server)
+            self._server_task.category = "analyzer"
             if self.dump_path and self.dump_interval:
                 self._dump_task = self.node.spawn("gpa-dump", self._dumper)
+                self._dump_task.category = "analyzer"
         return self._server_task
 
     def stop(self):
@@ -140,6 +146,9 @@ class GlobalPerformanceAnalyzer:
         live on this object, standing in for the operator's long-lived
         view of the analyzer).
         """
+        # Bank the dead decoder's frame count before discarding it, so
+        # stats()["frames_received"] never moves backwards on restart.
+        self.frames_received_base += self.frame_decoder.frames_decoded
         self.registry = encoding.FormatRegistry()
         self.frame_decoder = encoding.FrameDecoder(self.registry)
         self.interactions.clear()
@@ -156,7 +165,9 @@ class GlobalPerformanceAnalyzer:
         while not self._stopped:
             sock = yield from ctx.accept(lsock)
             self._conn_socks.append(sock)
-            self._conn_tasks.append(ctx.spawn("gpa-conn", self._handler, sock))
+            conn_task = ctx.spawn("gpa-conn", self._handler, sock)
+            conn_task.category = "analyzer"
+            self._conn_tasks.append(conn_task)
 
     def _handler(self, ctx, sock):
         while True:
@@ -400,7 +411,8 @@ class GlobalPerformanceAnalyzer:
             "cpa_metrics": len(self.cpa_metrics),
             "syscall_summaries": len(self.syscall_summaries),
             "nodes_reporting": sorted(self.node_stats),
-            "frames_received": self.frame_decoder.frames_decoded,
+            "frames_received": self.frames_received_base
+            + self.frame_decoder.frames_decoded,
             "decode_errors": self.decode_errors,
             "dumps_written": self.dumps_written,
             "queries_served": self.queries_served,

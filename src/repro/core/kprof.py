@@ -16,6 +16,7 @@ fast path and must not block (they are plain functions, not processes).
 from collections import Counter
 
 from repro.core.events import MonEvent, intern_etype
+from repro.observability import tracer as _trace
 from repro.ossim.tracepoints import EVENT_CLASSES, Tracepoints
 
 
@@ -54,6 +55,7 @@ class Kprof(Tracepoints):
         self._snap = {}
         self._enabled = frozenset()
         self._cost_cache = {}
+        self._split_cache = {}
         self._masked = set()  # event types force-disabled by the controller
         self.events_fired = Counter()
         self.events_delivered = 0
@@ -131,6 +133,7 @@ class Kprof(Tracepoints):
         }
         self._enabled = frozenset(self._snap)
         self._cost_cache.clear()
+        self._split_cache.clear()
 
     @staticmethod
     def _expand(etypes):
@@ -164,6 +167,20 @@ class Kprof(Tracepoints):
                 total += sub.cost
         self._cost_cache[etype] = total
         return total
+
+    def cost_split(self, etype):
+        cached = self._split_cache.get(etype)
+        if cached is not None:
+            return cached
+        if etype not in self._enabled:
+            split = (self.costs.probe_disabled, 0.0)
+        else:
+            analyzer = 0.0
+            for sub in self._snap[etype]:
+                analyzer += sub.cost
+            split = (self.costs.probe_fire, analyzer)
+        self._split_cache[etype] = split
+        return split
 
     def fire(self, etype, sim_ts=None, **fields):
         """Deliver one tracepoint hit to the current subscribers.
@@ -202,6 +219,11 @@ class Kprof(Tracepoints):
         self.events_fired[etype] += delivered + suppressed
         self.events_delivered += delivered
         self.events_suppressed += suppressed
+        if _trace.enabled and delivered + suppressed:
+            _trace.active().probe(
+                self.kernel.name, etype, fields.get("pid"),
+                self.kernel.sim.now if sim_ts is None else sim_ts,
+            )
 
     def _make_event(self, etype, sim_ts, fields):
         sim_now = self.kernel.sim.now if sim_ts is None else sim_ts

@@ -24,6 +24,7 @@ from collections import deque
 
 from repro.core.buffers import DoubleBuffer
 from repro.core.interactions import InteractionTracker
+from repro.observability import tracer as _trace
 from repro.ossim.task import BAND_KERNEL
 from repro.ossim import tracepoints as tp
 from repro.sim.stats import RunningStat
@@ -322,6 +323,10 @@ class InteractionLPA(LocalPerformanceAnalyzer):
                 record.kernel_cpu += record.io_blocked
                 record.io_blocked = 0.0
         record.server_pid = response.pid or request.pid or 0
+        if _trace.enabled:
+            _trace.active().interaction(
+                self.kernel.name, record, clock=self.kernel.clock
+            )
         self.window.append(record)
         if self.granularity == "interaction":
             self.buffer.append(record.as_row())

@@ -27,6 +27,7 @@ from repro.core.daemon import DisseminationDaemon
 from repro.core.gpa import GlobalPerformanceAnalyzer
 from repro.core.kprof import Kprof, exclude_port_range
 from repro.core.lpa import InteractionLPA, NodeStatsLPA, SyscallLPA
+from repro.observability.metrics import build_registry
 
 
 @dataclass
@@ -94,6 +95,7 @@ class SysProf:
         self.monitors = {}
         self.gpa = None
         self.controller = Controller(self)
+        self.metrics = None  # MetricsRegistry, built by install()
         self._started = False
 
     # ------------------------------------------------------------------
@@ -114,6 +116,9 @@ class SysProf:
                 dump_interval=self.config.dump_interval,
             )
             self.gpa.subscribe_all()
+        # One registry over every component's stats(), exposed through
+        # /proc/sysprof/metrics on each involved node (pull-only).
+        self.metrics = build_registry(self)
         return self
 
     def _install_node(self, node):

@@ -1,4 +1,8 @@
-"""One driver per paper table/figure (see DESIGN.md's experiment index)."""
+"""One driver per paper table or figure — the §3.1 microbenchmarks,
+the §3.2 storage-service case study, the §3.3 RUBiS/DWCS comparison,
+failure-injection sweeps, and the observability overhead/trace
+drivers — each returning plain result records so tests and the CLI
+share one code path (see DESIGN.md's experiment index)."""
 
 from repro.experiments.common import (
     Series,
@@ -27,6 +31,12 @@ from repro.experiments.nfs_storage import (
     run_nfs_experiment,
     run_thread_sweep,
 )
+from repro.experiments.observe import (
+    ObservabilityConfig,
+    OverheadPoint,
+    run_overhead_experiment,
+    run_trace_experiment,
+)
 from repro.experiments.rubis_qos import (
     RubisExperimentConfig,
     RubisRunResult,
@@ -40,6 +50,8 @@ __all__ = [
     "FailureRunResult",
     "NfsExperimentConfig",
     "NfsRunResult",
+    "ObservabilityConfig",
+    "OverheadPoint",
     "OverheadResult",
     "RubisExperimentConfig",
     "RubisRunResult",
@@ -58,8 +70,10 @@ __all__ = [
     "run_failure_suite",
     "run_headline_experiments",
     "run_nfs_experiment",
+    "run_overhead_experiment",
     "run_points",
     "run_rubis_experiment",
+    "run_trace_experiment",
     "run_thread_sweep",
     "trace_digest",
 ]

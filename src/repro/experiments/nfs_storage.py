@@ -54,6 +54,8 @@ class NfsExperimentConfig:
     sim_limit: float = 400.0
     clock_skew: bool = True
     frame_dissemination: bool = True  # batched frames vs per-record blobs
+    eviction_interval: float = 0.2  # buffer flush / sampling period
+    syscall_stats: bool = False  # per-syscall aggregation LPA (more probes)
 
 
 def build_cluster(config):
@@ -96,7 +98,8 @@ def run_nfs_experiment(threads_per_client, config=None):
     sysprof = SysProf(
         cluster,
         SysProfConfig(
-            eviction_interval=0.2,
+            eviction_interval=config.eviction_interval,
+            syscall_stats=config.syscall_stats,
             frame_dissemination=config.frame_dissemination,
         ),
         clock_table=clock_table,

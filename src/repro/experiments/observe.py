@@ -1,0 +1,132 @@
+"""Observability experiments: CPU attribution breakdown and trace export.
+
+These drive the :mod:`repro.observability` layer over the §3.2 NFS
+storage workload:
+
+* :func:`run_overhead_experiment` — installs the attribution ledger,
+  runs the NFS experiment at one or more sampling rates, and reports the
+  per-node per-category CPU breakdown.  This turns the paper's overhead
+  argument (probes + analyzers + dissemination steal CPU from the
+  workload) into measured numbers that *grow with the sampling rate*.
+* :func:`run_trace_experiment` — additionally installs the span tracer
+  and exports a Chrome trace-event JSON (one pid per node, one tid per
+  simulated task) loadable in ``ui.perfetto.dev``.
+
+Both install the observability globals around the run and always
+uninstall in a ``finally`` block, so they leave the process clean for
+subsequent (observability-off) runs.
+"""
+
+from dataclasses import dataclass, field, replace
+
+from repro.observability import ledger as cpu_ledger
+from repro.observability import tracer as span_tracer
+from repro.observability.ledger import CATEGORIES, MONITORING_CATEGORIES
+from repro.experiments.nfs_storage import NfsExperimentConfig, run_nfs_experiment
+
+
+@dataclass
+class OverheadPoint:
+    """The attribution breakdown for one sampling-rate configuration."""
+
+    label: str
+    eviction_interval: float
+    syscall_stats: bool
+    breakdown: dict  # node -> {category: seconds}
+    monitoring_share: dict  # node -> fraction of busy time
+    trace_hash: str
+
+
+@dataclass
+class ObservabilityConfig:
+    """Workload + sampling-rate points for the overhead experiment."""
+
+    threads_per_client: int = 4
+    nfs: NfsExperimentConfig = field(default_factory=NfsExperimentConfig)
+    # (label, eviction_interval, syscall_stats) sampling-rate points:
+    # the high-rate point flushes 4x as often and enables the syscall
+    # LPA, which subscribes two more probe types on every node.
+    points: tuple = (
+        ("default-rate", 0.2, False),
+        ("high-rate", 0.05, True),
+    )
+
+
+def smoke_config():
+    """A seconds-not-minutes configuration for CI and --smoke runs."""
+    return ObservabilityConfig(
+        threads_per_client=2,
+        nfs=NfsExperimentConfig(ops_per_thread=6, clients=1, backends=1),
+    )
+
+
+def run_overhead_experiment(config=None):
+    """Per-node per-category CPU attribution at each sampling rate.
+
+    Returns a list of :class:`OverheadPoint`, one per configured point.
+    """
+    config = config or ObservabilityConfig()
+    points = []
+    for label, eviction_interval, syscall_stats in config.points:
+        nfs_config = replace(
+            config.nfs,
+            eviction_interval=eviction_interval,
+            syscall_stats=syscall_stats,
+        )
+        ledger = cpu_ledger.install()
+        try:
+            result = run_nfs_experiment(config.threads_per_client, nfs_config)
+            breakdown = ledger.breakdown(include_idle=False)
+            shares = {
+                node: ledger.monitoring_share(node) for node in ledger.nodes()
+            }
+        finally:
+            cpu_ledger.uninstall()
+        points.append(OverheadPoint(
+            label=label,
+            eviction_interval=eviction_interval,
+            syscall_stats=syscall_stats,
+            breakdown=breakdown,
+            monitoring_share=shares,
+            trace_hash=result.trace_hash,
+        ))
+    return points
+
+
+def run_trace_experiment(config=None, path=None):
+    """Run the NFS workload with ledger + tracer on; returns the pair
+    ``(chrome_trace_dict, ledger)``.  ``path`` additionally writes the
+    trace JSON to disk."""
+    config = config or smoke_config()
+    nfs_config = replace(config.nfs, syscall_stats=True)
+    ledger = cpu_ledger.install()
+    tracer = span_tracer.install()
+    try:
+        run_nfs_experiment(config.threads_per_client, nfs_config)
+        doc = tracer.chrome_trace()
+        if path is not None:
+            tracer.export(path)
+    finally:
+        span_tracer.uninstall()
+        cpu_ledger.uninstall()
+    return doc, ledger
+
+
+def breakdown_rows(point):
+    """CLI rows ``(node, category ms..., monitoring %)`` for one point."""
+    rows = []
+    for node in sorted(point.breakdown):
+        categories = point.breakdown[node]
+        row = [node]
+        row.extend(
+            categories.get(c, 0.0) * 1e3 for c in CATEGORIES if c != "idle"
+        )
+        row.append(100.0 * point.monitoring_share.get(node, 0.0))
+        rows.append(tuple(row))
+    return rows
+
+
+def monitoring_seconds(point, node):
+    """Total monitoring CPU (probe + analyzer + dissemination) on a node."""
+    categories = point.breakdown.get(node, {})
+    return sum(categories.get(c, 0.0) for c in MONITORING_CATEGORIES)

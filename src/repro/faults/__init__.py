@@ -1,6 +1,6 @@
-"""Deterministic, schedule-driven fault injection.
-
-Failures are a first-class workload: a :class:`FaultSchedule` scripts
+"""Deterministic, schedule-driven fault injection — failures are a
+first-class workload, the machinery behind the §3.2-style failure
+diagnosis runs in ``docs/failures.md``.  A :class:`FaultSchedule` scripts
 crash/restart, link and partition windows at simulated times, and a
 :class:`FaultInjector` arms them against a cluster (and optionally a
 SysProf installation).  All randomness comes from named substreams of

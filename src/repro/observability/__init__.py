@@ -1,0 +1,40 @@
+"""Observability for the simulated cluster itself: SysProf's
+evaluation (paper §3) argues that fine-grain monitoring is
+cheap because capture, analysis, and dissemination are charged to the
+same CPUs as the workload.  This package makes that claim *directly
+measurable* instead of hand-derived: a per-category simulated-CPU
+attribution ledger (:mod:`repro.observability.ledger`), a span tracer
+over simulated time exporting Chrome trace-event JSON for Perfetto
+(:mod:`repro.observability.tracer`), and a :class:`MetricsRegistry`
+unifying the ad-hoc per-component ``stats()`` dicts behind one named,
+typed counter/gauge surface (:mod:`repro.observability.metrics`).
+Everything here is host-side bookkeeping: it charges zero simulated CPU
+and perturbs no event ordering, so same-seed traces are byte-identical
+with observability on or off (enforced by
+``tests/integration/test_observability_determinism.py``).
+"""
+
+from repro.observability.ledger import (
+    CATEGORIES,
+    MONITORING_CATEGORIES,
+    CpuLedger,
+)
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    build_registry,
+)
+from repro.observability.tracer import SpanTracer, validate_chrome_trace
+
+__all__ = [
+    "CATEGORIES",
+    "MONITORING_CATEGORIES",
+    "CpuLedger",
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "build_registry",
+    "SpanTracer",
+    "validate_chrome_trace",
+]

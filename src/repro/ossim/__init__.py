@@ -1,4 +1,9 @@
-"""Simulated Linux-like operating system: the substrate SysProf instruments."""
+"""Simulated Linux-like operating system — the substrate SysProf
+instruments: per-node CPUs with a preemptive priority scheduler and
+context-switch costs, syscall entry/exit, a socket layer, a VFS with
+page cache and seek-accurate disks, and the tracepoint registry where
+Kprof attaches exactly where the paper's kernel patch hooked Linux
+2.4.19 (§2)."""
 
 from repro.ossim.costs import DEFAULT_COSTS, CostModel
 from repro.ossim.kernel import Kernel

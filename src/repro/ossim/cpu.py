@@ -26,16 +26,23 @@ _EPSILON = 1e-12
 
 
 class WorkItem:
-    __slots__ = ("task", "remaining", "mode", "band", "done", "started_at", "submitted_at")
+    __slots__ = (
+        "task", "remaining", "total", "mode", "band", "done",
+        "started_at", "submitted_at", "attribution",
+    )
 
-    def __init__(self, task, amount, mode, band, done, submitted_at):
+    def __init__(self, task, amount, mode, band, done, submitted_at, attribution):
         self.task = task
         self.remaining = amount
+        self.total = amount
         self.mode = mode
         self.band = band
         self.done = done
         self.started_at = None
         self.submitted_at = submitted_at
+        # Ledger category tag: None (default by task/mode), a category
+        # string, or ((category, seconds), ...) pairs summing to amount.
+        self.attribution = attribution
 
 
 class Cpu:
@@ -60,8 +67,13 @@ class Cpu:
 
     # ------------------------------------------------------------------
 
-    def submit(self, task, amount, mode="user", band=None):
-        """Request ``amount`` seconds of CPU; returns a waitable -> (start, end)."""
+    def submit(self, task, amount, mode="user", band=None, attribution=None):
+        """Request ``amount`` seconds of CPU; returns a waitable -> (start, end).
+
+        ``attribution`` tags the charge for the observability ledger
+        (see :class:`WorkItem`); it is pure bookkeeping and never
+        affects scheduling.
+        """
         if amount < 0:
             raise ValueError("negative CPU demand: {}".format(amount))
         if band is None:
@@ -70,7 +82,7 @@ class Cpu:
         if amount <= _EPSILON:
             done.succeed((self.sim.now, self.sim.now))
             return done
-        item = WorkItem(task, amount, mode, band, done, self.sim.now)
+        item = WorkItem(task, amount, mode, band, done, self.sim.now, attribution)
         self._queues[band].append(item)
         running = self._running
         if running is None:
@@ -130,6 +142,7 @@ class Cpu:
 
             start = sim.now
             preempted = False
+            full_overhead = overhead
             try:
                 yield sim.timeout(overhead + slice_target)
                 ran = slice_target
@@ -144,6 +157,9 @@ class Cpu:
             self.mode_time["user" if item.mode == "user" else "kernel"] += ran
             if item.task is not None:
                 item.task.charge(item.mode, ran)
+            ledger = self.kernel.ledger
+            if ledger is not None and (ran > 0.0 or overhead > 0.0):
+                self._attribute(ledger, item, ran, overhead, full_overhead)
 
             item.remaining -= ran
             if item.remaining <= _EPSILON:
@@ -156,6 +172,71 @@ class Cpu:
                 self._queues[item.band].append(item)
                 if item.task is not None and item.task.state == TASK_RUNNING:
                     item.task.state = TASK_READY
+
+    def _attribute(self, ledger, item, ran, overhead, full_overhead):
+        """Hand the exact seconds just added to ``busy_time`` to the
+        attribution ledger, split by category.
+
+        Host-side bookkeeping only — no simulated state is touched.  The
+        pieces are constructed so they sum to ``ran + overhead`` exactly
+        (remainders land on the final share), keeping per-node ledger
+        totals equal to ``busy_time`` bit-for-bit.
+        """
+        node = self.kernel.name
+        task = item.task
+        sticky = task.category if task is not None else None
+        if overhead > 0.0:
+            # Context-switch overhead: the sched_switch probe/analyzer
+            # portion is monitoring cost; the base switch is charged to
+            # whoever caused the switch (the incoming item's category).
+            probe, analyzer = self.kernel.tracepoints.cost_split(tp.SCHED_SWITCH)
+            monitoring = probe + analyzer
+            if monitoring > 0.0 and overhead < full_overhead and full_overhead > 0.0:
+                scale = overhead / full_overhead  # truncated by an interrupt
+                probe *= scale
+                analyzer *= scale
+                monitoring = probe + analyzer
+            if monitoring > overhead:  # subscriptions changed mid-slice
+                probe = min(probe, overhead)
+                analyzer = overhead - probe
+                monitoring = overhead
+            ledger.charge(node, sticky or "workload", overhead - monitoring)
+            if monitoring > 0.0:
+                ledger.charge(node, "probe", probe)
+                ledger.charge(node, "analyzer", analyzer)
+        if ran <= 0.0:
+            return
+        attribution = item.attribution
+        if attribution is None:
+            ledger.charge(node, sticky or "workload", ran)
+        elif attribution.__class__ is str:
+            ledger.charge(node, sticky or attribution, ran)
+        else:
+            # Composite charge: scale each (category, seconds) pair to
+            # this slice; only the first (base) pair yields to the
+            # task's sticky category.  The float remainder goes to the
+            # last *nonzero* pair so zero-cost monitoring pairs never
+            # pick up a stray -0.0.
+            scale = ran / item.total if item.total > 0.0 else 0.0
+            last = 0
+            for index in range(len(attribution) - 1, -1, -1):
+                if attribution[index][1] > 0.0:
+                    last = index
+                    break
+            charged = 0.0
+            for index, (category, seconds) in enumerate(attribution):
+                if index == 0 and sticky is not None:
+                    category = sticky
+                if index == last:
+                    continue
+                amount = seconds * scale
+                charged += amount
+                if amount != 0.0:
+                    ledger.charge(node, category, amount)
+            category = attribution[last][0]
+            if last == 0 and sticky is not None:
+                category = sticky
+            ledger.charge(node, category, ran - charged)
 
     def _fire_switch(self, prev, nxt):
         self.kernel.tracepoints.fire(
@@ -219,7 +300,7 @@ class CpuSet:
     def core(self, index):
         return self.cores[index]
 
-    def submit(self, task, amount, mode="user", band=None):
+    def submit(self, task, amount, mode="user", band=None, attribution=None):
         if task is None:
             target = self.cores[0]
         elif getattr(task, "affinity", None) is not None:
@@ -228,7 +309,9 @@ class CpuSet:
             target = min(
                 self.cores, key=lambda core: (core.run_queue_length, core.index)
             )
-        return target.submit(task, amount, mode=mode, band=band)
+        return target.submit(
+            task, amount, mode=mode, band=band, attribution=attribution
+        )
 
     # -- aggregated accounting -----------------------------------------
 

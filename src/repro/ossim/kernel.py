@@ -15,6 +15,7 @@ from repro.ossim.task import BAND_USER, TASK_EXITED, Task
 from repro.ossim.tracepoints import NULL_TRACEPOINTS
 from repro.ossim import tracepoints as tp
 from repro.ossim.vfs import Vfs
+from repro.observability import ledger as cpu_ledger
 from repro.sim.errors import ConnectionReset, Interrupt, SimError
 
 
@@ -42,6 +43,12 @@ class Kernel:
         self.costs = costs
         self.clock = clock or IdentityClock()
         self.tracepoints = tracepoints or NULL_TRACEPOINTS
+        # Observability: the process-wide attribution ledger, if one is
+        # installed (see repro.observability.ledger).  Read once here so
+        # the CPU hot path pays a single attribute load per slice.
+        self.ledger = cpu_ledger.active()
+        if self.ledger is not None:
+            self.ledger.attach_kernel(self)
         # A single core keeps the uniprocessor fast path; CpuSet adds SMP.
         self.cpu = Cpu(sim, self, costs) if cpus == 1 else CpuSet(sim, self, costs, cpus)
         self.cpu_count = cpus

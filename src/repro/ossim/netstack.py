@@ -75,9 +75,19 @@ class NetStack:
                 yield from self.kernel.block_wait(task, grant, reason="sndbuf")
             # Probes fire per wire frame in the real system; an aggregated
             # packet charges the per-frame monitoring cost `frames` times.
-            cost = costs.tx_packet_cost(size, frames)
-            cost += tracepoints.cost_many(_TX_EVENTS) * frames
-            start, end = yield self.kernel.cpu.submit(task, cost, "kernel")
+            base = costs.tx_packet_cost(size, frames)
+            cost = base + tracepoints.cost_many(_TX_EVENTS) * frames
+            attribution = None
+            if self.kernel.ledger is not None:
+                probe, analyzer = tracepoints.cost_split_many(_TX_EVENTS)
+                attribution = (
+                    ("netstack", base),
+                    ("probe", probe * frames),
+                    ("analyzer", analyzer * frames),
+                )
+            start, end = yield self.kernel.cpu.submit(
+                task, cost, "kernel", attribution=attribution
+            )
             self._fire_tx_events(packet, start, end, sock)
             self.tx_packets += 1
             sock.bytes_sent += size
@@ -113,9 +123,20 @@ class NetStack:
 
     def _rx_interrupt(self, packet):
         costs = self.costs
-        cost = costs.rx_packet_cost(packet.size, packet.frames)
-        cost += self.kernel.tracepoints.cost_many(_RX_EVENTS) * packet.frames
-        done = self.kernel.cpu.submit(None, cost, "kernel", band=BAND_IRQ)
+        tracepoints = self.kernel.tracepoints
+        base = costs.rx_packet_cost(packet.size, packet.frames)
+        cost = base + tracepoints.cost_many(_RX_EVENTS) * packet.frames
+        attribution = None
+        if self.kernel.ledger is not None:
+            probe, analyzer = tracepoints.cost_split_many(_RX_EVENTS)
+            attribution = (
+                ("netstack", base),
+                ("probe", probe * packet.frames),
+                ("analyzer", analyzer * packet.frames),
+            )
+        done = self.kernel.cpu.submit(
+            None, cost, "kernel", band=BAND_IRQ, attribution=attribution
+        )
         done.add_callback(lambda grant: self._rx_complete(packet, grant.value))
 
     def _rx_complete(self, packet, span):

@@ -81,7 +81,17 @@ class Selector:
             kernel.costs.sock_copy_per_byte * message.size
             + tracepoints.cost(tp.SOCK_DELIVER)
         )
-        yield kernel.cpu.submit(ctx.task, copy_cost, "kernel")
+        attribution = None
+        if kernel.ledger is not None:
+            probe, analyzer = tracepoints.cost_split(tp.SOCK_DELIVER)
+            attribution = (
+                ("netstack", copy_cost - probe - analyzer),
+                ("probe", probe),
+                ("analyzer", analyzer),
+            )
+        yield kernel.cpu.submit(
+            ctx.task, copy_cost, "kernel", attribution=attribution
+        )
         sock.consume(message)
         deliver_fields = {
             "pid": ctx.task.pid,

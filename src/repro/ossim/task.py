@@ -39,6 +39,7 @@ class Task:
         "exit_value",
         "cwd",
         "labels",
+        "category",
     )
 
     def __init__(self, pid, name, kernel, band=BAND_USER):
@@ -61,6 +62,9 @@ class Task:
         self.exit_value = None
         self.cwd = "/"
         self.labels = {}
+        # Sticky attribution-ledger category (e.g. "dissemination" for
+        # sysprofd); None means charges default by call site.
+        self.category = None
 
     @property
     def cpu_time(self):

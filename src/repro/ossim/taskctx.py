@@ -67,15 +67,33 @@ class TaskContext:
     # ------------------------------------------------------------------
 
     def _sys_enter(self, name):
-        tracepoints = self.kernel.tracepoints
-        cost = self.kernel.costs.syscall_entry + tracepoints.cost(tp.SYSCALL_ENTRY)
-        yield self.kernel.cpu.submit(self.task, cost, "kernel")
+        kernel = self.kernel
+        tracepoints = kernel.tracepoints
+        cost = kernel.costs.syscall_entry + tracepoints.cost(tp.SYSCALL_ENTRY)
+        attribution = None
+        if kernel.ledger is not None:
+            probe, analyzer = tracepoints.cost_split(tp.SYSCALL_ENTRY)
+            attribution = (
+                ("syscall", cost - probe - analyzer),
+                ("probe", probe),
+                ("analyzer", analyzer),
+            )
+        yield kernel.cpu.submit(self.task, cost, "kernel", attribution=attribution)
         tracepoints.fire(tp.SYSCALL_ENTRY, pid=self.task.pid, call=name)
 
     def _sys_exit(self, name):
-        tracepoints = self.kernel.tracepoints
-        cost = self.kernel.costs.syscall_exit + tracepoints.cost(tp.SYSCALL_EXIT)
-        yield self.kernel.cpu.submit(self.task, cost, "kernel")
+        kernel = self.kernel
+        tracepoints = kernel.tracepoints
+        cost = kernel.costs.syscall_exit + tracepoints.cost(tp.SYSCALL_EXIT)
+        attribution = None
+        if kernel.ledger is not None:
+            probe, analyzer = tracepoints.cost_split(tp.SYSCALL_EXIT)
+            attribution = (
+                ("syscall", cost - probe - analyzer),
+                ("probe", probe),
+                ("analyzer", analyzer),
+            )
+        yield kernel.cpu.submit(self.task, cost, "kernel", attribution=attribution)
         tracepoints.fire(tp.SYSCALL_EXIT, pid=self.task.pid, call=name)
 
     # ------------------------------------------------------------------
@@ -162,7 +180,17 @@ class TaskContext:
             self.kernel.costs.sock_copy_per_byte * message.size
             + tracepoints.cost(tp.SOCK_DELIVER)
         )
-        yield self.kernel.cpu.submit(self.task, copy_cost, "kernel")
+        attribution = None
+        if self.kernel.ledger is not None:
+            probe, analyzer = tracepoints.cost_split(tp.SOCK_DELIVER)
+            attribution = (
+                ("netstack", copy_cost - probe - analyzer),
+                ("probe", probe),
+                ("analyzer", analyzer),
+            )
+        yield self.kernel.cpu.submit(
+            self.task, copy_cost, "kernel", attribution=attribution
+        )
         sock.consume(message)
         deliver_fields = {
             "pid": self.task.pid,

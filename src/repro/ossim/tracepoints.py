@@ -95,6 +95,26 @@ class Tracepoints:
             total += self.cost(etype)
         return total
 
+    def cost_split(self, etype):
+        """:meth:`cost` decomposed as ``(probe, analyzer)`` seconds.
+
+        ``probe`` is the fixed event-emission cost, ``analyzer`` the
+        subscribed callbacks' declared cost.  Used by the attribution
+        ledger (:mod:`repro.observability.ledger`) to split composite
+        kernel charges; implementations must keep ``probe + analyzer ==
+        cost(etype)``.  The default attributes everything to the probe.
+        """
+        return (self.cost(etype), 0.0)
+
+    def cost_split_many(self, etypes):
+        """Summed :meth:`cost_split` over several event types."""
+        probe = analyzer = 0.0
+        for etype in etypes:
+            p, a = self.cost_split(etype)
+            probe += p
+            analyzer += a
+        return (probe, analyzer)
+
     def fire(self, etype, ts=None, **fields):
         """Emit one event.  ``ts`` overrides the node-local timestamp when
         the caller backfills precise per-layer times."""

@@ -53,6 +53,21 @@ class Vfs:
 
     # ------------------------------------------------------------------
 
+    def _submit(self, task, base, etype):
+        """Charge ``base`` plus the probe cost for one firing of ``etype``,
+        attributing the base work to the block-I/O ledger category."""
+        kernel = self.kernel
+        cost = base + kernel.tracepoints.cost(etype)
+        attribution = None
+        if kernel.ledger is not None:
+            probe, analyzer = kernel.tracepoints.cost_split(etype)
+            attribution = (
+                ("blockio", base),
+                ("probe", probe),
+                ("analyzer", analyzer),
+            )
+        return kernel.cpu.submit(task, cost, "kernel", attribution=attribution)
+
     def open(self, task, path, create=True):
         inode = self.inodes.get(path)
         if inode is None:
@@ -63,8 +78,7 @@ class Vfs:
         handle = FileHandle(inode, self._next_fd, task.pid)
         self._next_fd += 1
         self._handles[handle.fd] = handle
-        cost = self.costs.fs_op + self.kernel.tracepoints.cost(tp.FS_OPEN)
-        yield self.kernel.cpu.submit(task, cost, "kernel")
+        yield self._submit(task, self.costs.fs_op, tp.FS_OPEN)
         self.kernel.tracepoints.fire(tp.FS_OPEN, pid=task.pid, path=path, fd=handle.fd)
         return handle
 
@@ -80,16 +94,14 @@ class Vfs:
         self.cache_misses += len(missing)
         for first, last in _contiguous_runs(missing):
             count = last - first + 1
-            issue = self.costs.blk_issue + self.kernel.tracepoints.cost(tp.BLK_ISSUE)
-            yield self.kernel.cpu.submit(task, issue, "kernel")
+            yield self._submit(task, self.costs.blk_issue, tp.BLK_ISSUE)
             task.disk_ops += 1
             yield from self.kernel.block_wait(task, self.disk.submit(
                 "read", first * self.PAGE, count * self.PAGE))
             for page in range(first, last + 1):
                 self._insert_page(inode.path, page, dirty=False)
         copy = self.costs.fs_op + self.costs.page_copy * max(1, len(pages))
-        copy += self.kernel.tracepoints.cost(tp.FS_READ)
-        yield self.kernel.cpu.submit(task, copy, "kernel")
+        yield self._submit(task, copy, tp.FS_READ)
         for page in pages:
             self._touch(inode.path, page)
         if offset is None:
@@ -106,8 +118,7 @@ class Vfs:
         position = handle.position if offset is None else offset
         pages = self._page_range(position, nbytes)
         copy = self.costs.fs_op + self.costs.page_copy * max(1, len(pages))
-        copy += self.kernel.tracepoints.cost(tp.FS_WRITE)
-        yield self.kernel.cpu.submit(task, copy, "kernel")
+        yield self._submit(task, copy, tp.FS_WRITE)
         for page in pages:
             self._insert_page(inode.path, page, dirty=not sync)
         inode.size = max(inode.size, position + nbytes)
@@ -118,8 +129,7 @@ class Vfs:
             offset=position, sync=sync,
         )
         if sync and pages:
-            issue = self.costs.blk_issue + self.kernel.tracepoints.cost(tp.BLK_ISSUE)
-            yield self.kernel.cpu.submit(task, issue, "kernel")
+            yield self._submit(task, self.costs.blk_issue, tp.BLK_ISSUE)
             task.disk_ops += 1
             yield from self.kernel.block_wait(task, self.disk.submit(
                 "write", pages[0] * self.PAGE, len(pages) * self.PAGE))
@@ -131,12 +141,10 @@ class Vfs:
             page for (path, page), is_dirty in self._cache.items()
             if path == inode.path and is_dirty
         )
-        cost = self.costs.fs_op + self.kernel.tracepoints.cost(tp.FS_FSYNC)
-        yield self.kernel.cpu.submit(task, cost, "kernel")
+        yield self._submit(task, self.costs.fs_op, tp.FS_FSYNC)
         for first, last in _contiguous_runs(dirty):
             count = last - first + 1
-            issue = self.costs.blk_issue + self.kernel.tracepoints.cost(tp.BLK_ISSUE)
-            yield self.kernel.cpu.submit(task, issue, "kernel")
+            yield self._submit(task, self.costs.blk_issue, tp.BLK_ISSUE)
             task.disk_ops += 1
             yield from self.kernel.block_wait(task, self.disk.submit(
                 "write", first * self.PAGE, count * self.PAGE))
@@ -151,8 +159,7 @@ class Vfs:
     def close(self, task, handle):
         handle.closed = True
         self._handles.pop(handle.fd, None)
-        cost = self.costs.fs_op + self.kernel.tracepoints.cost(tp.FS_CLOSE)
-        yield self.kernel.cpu.submit(task, cost, "kernel")
+        yield self._submit(task, self.costs.fs_op, tp.FS_CLOSE)
         self.kernel.tracepoints.fire(tp.FS_CLOSE, pid=task.pid, path=handle.inode.path)
 
     # ------------------------------------------------------------------

@@ -1,4 +1,9 @@
-"""Deterministic discrete-event simulation engine (SimPy-like, dependency-free)."""
+"""Deterministic discrete-event simulation engine (SimPy-like,
+dependency-free): an event calendar with stable tie-breaking,
+generator-based processes, and seeded named RNG substreams.  Every
+layer above — the OS, the network, and SysProf itself (§2) —
+schedules through this engine, which is what makes same-seed runs
+byte-identical and the paper's overhead results reproducible."""
 
 from repro.sim.engine import (
     PRIORITY_INTERRUPT,

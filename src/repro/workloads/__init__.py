@@ -1,4 +1,8 @@
-"""Workload generators: iperf, linpack, iozone, httperf analogs."""
+"""Workload generators mirroring the paper's load drivers: iperf
+streaming and linpack compute for the §3.1 microbenchmarks, iozone
+multi-thread writes for the §3.2 storage study, and httperf-style
+Poisson HTTP sessions for the §3.3 RUBiS study — all seeded from the
+cluster RNG so the offered load is deterministic."""
 
 from repro.workloads.httperf import HttperfConfig, HttperfStats, spawn_httperf
 from repro.workloads.iozone import IozoneConfig, IozoneResults, spawn_iozone

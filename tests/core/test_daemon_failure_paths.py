@@ -114,3 +114,33 @@ def test_no_fault_runs_are_digest_identical():
         assert stats["backoff_skips"] == 0
         assert stats["endpoints_abandoned"] == 0
         assert stats["connect_attempts"] == 1  # the one real connect
+
+
+def test_gpa_frames_received_is_cumulative_across_restarts():
+    """Regression: ``restart()`` rebuilds the frame decoder, which used to
+    silently zero ``stats()["frames_received"]`` — the one ingest counter
+    that violated the documented stay-cumulative contract."""
+    from tests.core.helpers import echo_server, request_client
+
+    cluster, sysprof = build_monitored_pair()
+    cluster.node("server").spawn("srv", echo_server)
+    cluster.node("client").spawn(
+        "cli", request_client, "server", 8080, 200, 10000, 0.02
+    )
+    _advance(cluster, 1.5)
+    before = sysprof.gpa.stats()["frames_received"]
+    assert before > 0
+    sysprof.gpa.kill()
+    _advance(cluster, 0.3)
+    sysprof.gpa.restart()
+    # The fresh decoder starts at zero; the banked base keeps the
+    # operator-facing counter monotone.
+    assert sysprof.gpa.stats()["frames_received"] >= before
+    _advance(cluster, 2.0)
+    sysprof.flush()
+    after = sysprof.gpa.stats()["frames_received"]
+    assert after > before
+    assert after == (
+        sysprof.gpa.frames_received_base
+        + sysprof.gpa.frame_decoder.frames_decoded
+    )

@@ -1,0 +1,46 @@
+"""Observability purity: ledger + tracer must not perturb the simulation.
+
+The hard invariant the whole layer is built around: ledger charging and
+span recording are host-side bookkeeping that consume no simulated CPU,
+schedule no events, and read no random streams — so the same seed
+produces a byte-identical GPA trace hash with observability on or off.
+"""
+
+from repro.experiments.nfs_storage import NfsExperimentConfig, run_nfs_experiment
+from repro.observability import ledger as cpu_ledger
+from repro.observability import tracer as span_tracer
+
+_SMOKE = NfsExperimentConfig(ops_per_thread=6, clients=1, backends=1)
+
+
+def _run(observed):
+    if observed:
+        cpu_ledger.install()
+        span_tracer.install()
+    try:
+        return run_nfs_experiment(2, _SMOKE)
+    finally:
+        span_tracer.uninstall()
+        cpu_ledger.uninstall()
+
+
+def test_same_seed_hash_identical_with_observability_on():
+    plain = _run(observed=False)
+    observed = _run(observed=True)
+    assert plain.trace_hash == observed.trace_hash
+    assert plain.rpc_count == observed.rpc_count
+    assert plain.proxy_kernel_ms == observed.proxy_kernel_ms
+    assert plain.client_mean_latency_ms == observed.client_mean_latency_ms
+
+
+def test_ledger_and_tracer_populated_during_observed_run():
+    ledger = cpu_ledger.install()
+    tracer = span_tracer.install()
+    try:
+        run_nfs_experiment(2, _SMOKE)
+        assert "proxy" in ledger.nodes()
+        assert ledger.monitoring_time("proxy") > 0.0
+        assert len(tracer) > 0
+    finally:
+        span_tracer.uninstall()
+        cpu_ledger.uninstall()

@@ -1,0 +1,93 @@
+"""Attribution-ledger invariants: category sums, sticky tasks, idle."""
+
+import pytest
+
+from repro.observability import ledger as cpu_ledger
+from repro.observability.ledger import CATEGORIES, CpuLedger
+from tests.core.helpers import build_monitored_pair, drive_traffic
+
+
+@pytest.fixture
+def ledger():
+    led = cpu_ledger.install()
+    yield led
+    cpu_ledger.uninstall()
+
+
+def test_install_uninstall_lifecycle():
+    assert cpu_ledger.active() is None
+    led = cpu_ledger.install()
+    assert cpu_ledger.active() is led
+    cpu_ledger.uninstall()
+    assert cpu_ledger.active() is None
+
+
+def test_kernels_built_without_ledger_carry_none():
+    cluster, _sysprof = build_monitored_pair()
+    assert cluster.node("server").kernel.ledger is None
+
+
+def test_breakdown_sums_to_cpu_busy_per_node(ledger):
+    cluster, sysprof = build_monitored_pair()
+    drive_traffic(cluster, sysprof)
+    for name in ("client", "server", "mgmt"):
+        kernel = cluster.node(name).kernel
+        breakdown = ledger.breakdown(name, include_idle=False)
+        assert sum(breakdown.values()) == pytest.approx(
+            kernel.cpu.busy_time, rel=1e-9, abs=1e-15
+        )
+        assert ledger.busy_total(name) == pytest.approx(
+            kernel.cpu.busy_time, rel=1e-9, abs=1e-15
+        )
+        # No category ever goes negative.
+        for category, seconds in breakdown.items():
+            assert seconds >= 0.0, (name, category, seconds)
+
+
+def test_monitored_node_shows_monitoring_cost(ledger):
+    cluster, sysprof = build_monitored_pair()
+    drive_traffic(cluster, sysprof)
+    server = ledger.breakdown("server", include_idle=False)
+    # Kprof probes, LPA callbacks, and the daemon all burned CPU.
+    assert server["probe"] > 0.0
+    assert server["analyzer"] > 0.0
+    assert server["dissemination"] > 0.0
+    assert 0.0 < ledger.monitoring_share("server") < 1.0
+    # The unmonitored client runs no probes and no daemon.
+    client = ledger.breakdown("client", include_idle=False)
+    assert client["probe"] == 0.0
+    assert client["dissemination"] == 0.0
+    assert client["workload"] > 0.0
+    assert client["syscall"] > 0.0
+    assert client["netstack"] > 0.0
+
+
+def test_idle_is_derived_not_accumulated(ledger):
+    cluster, sysprof = build_monitored_pair()
+    drive_traffic(cluster, sysprof)
+    kernel = cluster.node("server").kernel
+    breakdown = ledger.breakdown("server", include_idle=True)
+    expected_idle = kernel.sim.now * kernel.cpu_count - kernel.cpu.busy_time
+    assert breakdown["idle"] == pytest.approx(expected_idle)
+    assert set(breakdown) == set(CATEGORIES)
+
+
+def test_charge_accumulates_plainly():
+    led = CpuLedger()
+    led.charge("n", "workload", 1.0)
+    led.charge("n", "workload", 0.5)
+    led.charge("n", "probe", 0.25)
+    assert led.breakdown("n", include_idle=False)["workload"] == 1.5
+    assert led.busy_total("n") == 1.75
+    assert led.monitoring_time("n") == 0.25
+    assert led.monitoring_share("n") == pytest.approx(0.25 / 1.75)
+
+
+def test_table_rows_shape():
+    led = CpuLedger()
+    led.charge("a", "workload", 0.002)
+    rows = led.table()
+    assert len(rows) == 1
+    # node + 7 non-idle categories + busy + monitoring %
+    assert len(rows[0]) == 10
+    assert rows[0][0] == "a"

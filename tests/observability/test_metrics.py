@@ -1,0 +1,87 @@
+"""MetricsRegistry: kinds, flattening, and the SysProf wiring."""
+
+import pytest
+
+from repro.observability.metrics import (
+    COUNTER,
+    GAUGE,
+    Counter,
+    MetricsRegistry,
+)
+from tests.core.helpers import build_monitored_pair, drive_traffic
+
+
+def test_counter_is_monotone():
+    counter = Counter("c")
+    counter.inc()
+    counter.inc(2)
+    assert counter.value == 3
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_gauge_moves_both_ways():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("g")
+    gauge.set(5.0)
+    gauge.set(2.0)
+    assert registry.get("g").value == 2.0
+
+
+def test_duplicate_names_rejected():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    with pytest.raises(ValueError, match="duplicate"):
+        registry.gauge("x")
+
+
+def test_lazy_fn_sampled_at_collect_time():
+    registry = MetricsRegistry()
+    box = {"v": 1}
+    registry.gauge("boxed", fn=lambda: box["v"])
+    assert registry.collect()["boxed"] == (GAUGE, 1)
+    box["v"] = 9
+    assert registry.collect()["boxed"] == (GAUGE, 9)
+
+
+def test_source_flattening_skips_non_numeric():
+    registry = MetricsRegistry()
+    registry.register_source("pre", lambda: {
+        "delivered": 10,
+        "nested": {"depth": 3, "label": "skip-me"},
+        "flag": True,
+        "names": ["a", "b"],
+    })
+    collected = registry.collect()
+    assert collected["pre.delivered"] == (COUNTER, 10)
+    assert collected["pre.nested.depth"] == (GAUGE, 3)  # gauge vocabulary
+    assert "pre.nested.label" not in collected
+    assert "pre.flag" not in collected
+    assert "pre.names" not in collected
+
+
+def test_render_is_sorted_text():
+    registry = MetricsRegistry()
+    registry.counter("b.total").inc(2)
+    registry.gauge("a.level").set(0.5)
+    text = registry.render()
+    lines = text.strip().split("\n")
+    assert lines == ["a.level gauge 0.5", "b.total counter 2"]
+
+
+def test_build_registry_covers_installation():
+    cluster, sysprof = build_monitored_pair()
+    drive_traffic(cluster, sysprof)
+    registry = sysprof.metrics
+    assert registry is not None
+    collected = registry.collect()
+    assert collected["sysprof.kprof.server.delivered"][1] > 0
+    assert collected["sysprof.daemon.server.publishes"][1] > 0
+    assert collected["sysprof.gpa.mgmt.records_received"][1] > 0
+    kind, busy = collected["sysprof.node.server.cpu_busy"]
+    assert kind == GAUGE
+    assert busy == pytest.approx(cluster.node("server").kernel.cpu.busy_time)
+    # Exposed through /proc on both the monitored and the GPA node.
+    for node in ("server", "mgmt"):
+        text = cluster.node(node).kernel.procfs.read("/proc/sysprof/metrics")
+        assert "sysprof.daemon.server.publishes counter" in text

@@ -1,0 +1,132 @@
+"""Span tracer: recording, Chrome trace validity, and the validator."""
+
+import json
+
+import pytest
+
+from repro.observability import tracer as span_tracer
+from repro.observability.tracer import SpanTracer, validate_chrome_trace
+from tests.core.helpers import build_monitored_pair, drive_traffic
+
+
+@pytest.fixture
+def tracer():
+    t = span_tracer.install()
+    yield t
+    span_tracer.uninstall()
+
+
+def test_disabled_by_default():
+    assert span_tracer.enabled is False
+    assert span_tracer.active() is None
+
+
+def test_install_flips_flag():
+    t = span_tracer.install()
+    try:
+        assert span_tracer.enabled is True
+        assert span_tracer.active() is t
+    finally:
+        span_tracer.uninstall()
+    assert span_tracer.enabled is False
+
+
+def test_pipeline_run_produces_valid_chrome_trace(tracer):
+    cluster, sysprof = build_monitored_pair()
+    drive_traffic(cluster, sysprof)
+    doc = tracer.chrome_trace()
+    count = validate_chrome_trace(doc)
+    assert count > 0
+    names = {event["name"] for event in doc["traceEvents"]}
+    # Probe instants, buffer switches, publishes, and interaction spans.
+    assert any(name.startswith("buffer-switch") for name in names)
+    assert any(name.startswith("publish") for name in names)
+    assert any(
+        event["ph"] == "X" and event["cat"] == "interaction"
+        for event in doc["traceEvents"]
+    )
+    # One pid per node; the daemon's lane is labelled.
+    processes = {
+        event["args"]["name"]
+        for event in doc["traceEvents"]
+        if event["ph"] == "M" and event["name"] == "process_name"
+    }
+    assert "server" in processes
+    threads = {
+        event["args"]["name"]
+        for event in doc["traceEvents"]
+        if event["ph"] == "M" and event["name"] == "thread_name"
+    }
+    assert "sysprofd" in threads
+
+
+def test_export_round_trips(tracer, tmp_path):
+    tracer.complete("n1", 7, "req", "interaction", 0.5, 0.25)
+    tracer.instant("n1", 0, "tick", "probe", 0.6)
+    path = tracer.export(str(tmp_path / "trace.json"))
+    with open(path, encoding="utf-8") as handle:
+        doc = json.load(handle)
+    assert validate_chrome_trace(doc) == 2
+    assert doc["otherData"]["simulated"] is True
+
+
+def test_max_events_drops_and_reports():
+    t = SpanTracer(max_events=3)
+    for index in range(5):
+        t.instant("n", 0, "e{}".format(index), "probe", index * 0.1)
+    assert len(t) == 3
+    assert t.dropped == 2
+    assert t.chrome_trace()["otherData"]["dropped_events"] == 2
+
+
+def test_events_sorted_even_when_recorded_out_of_order():
+    t = SpanTracer()
+    t.instant("n", 0, "late", "probe", 2.0)
+    t.instant("n", 0, "early", "probe", 1.0)
+    validate_chrome_trace(t.chrome_trace())
+
+
+def test_validator_rejects_unsorted_ts():
+    doc = {"traceEvents": [
+        {"ph": "i", "pid": 1, "tid": 0, "ts": 5, "name": "a", "s": "t"},
+        {"ph": "i", "pid": 1, "tid": 0, "ts": 1, "name": "b", "s": "t"},
+    ]}
+    with pytest.raises(ValueError, match="out of order"):
+        validate_chrome_trace(doc)
+
+
+def test_validator_rejects_unmatched_end():
+    doc = {"traceEvents": [
+        {"ph": "E", "pid": 1, "tid": 0, "ts": 1, "name": "a"},
+    ]}
+    with pytest.raises(ValueError, match="E without matching B"):
+        validate_chrome_trace(doc)
+
+
+def test_validator_rejects_unclosed_begin():
+    doc = {"traceEvents": [
+        {"ph": "B", "pid": 1, "tid": 0, "ts": 1, "name": "a"},
+    ]}
+    with pytest.raises(ValueError, match="unclosed"):
+        validate_chrome_trace(doc)
+
+
+def test_validator_rejects_negative_ts_and_dur():
+    with pytest.raises(ValueError, match="bad ts"):
+        validate_chrome_trace({"traceEvents": [
+            {"ph": "i", "pid": 1, "tid": 0, "ts": -1, "name": "a"},
+        ]})
+    with pytest.raises(ValueError, match="bad dur"):
+        validate_chrome_trace({"traceEvents": [
+            {"ph": "X", "pid": 1, "tid": 0, "ts": 1, "name": "a", "dur": -2},
+        ]})
+
+
+def test_validator_allows_metadata_anywhere():
+    doc = {"traceEvents": [
+        {"ph": "i", "pid": 1, "tid": 0, "ts": 5, "name": "a", "s": "t"},
+        {"ph": "M", "pid": 1, "tid": 0, "ts": 0, "name": "process_name",
+         "args": {"name": "n"}},
+        {"ph": "i", "pid": 1, "tid": 0, "ts": 6, "name": "b", "s": "t"},
+    ]}
+    assert validate_chrome_trace(doc) == 2

@@ -1,0 +1,23 @@
+"""The Markdown docs stay internally consistent.
+
+Runs ``tools/check_docs.py`` in-process: every relative link in the
+authored ``*.md`` files resolves, every ``#fragment`` matches a heading
+in its target, and every file under ``docs/`` is reachable from
+``README.md``.
+"""
+
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "tools"))
+
+import check_docs  # noqa: E402
+
+
+def test_relative_links_resolve_and_anchors_exist():
+    assert check_docs.check_links(ROOT) == []
+
+
+def test_every_doc_is_reachable_from_readme():
+    assert check_docs.check_reachability(ROOT) == []
