@@ -61,9 +61,13 @@ class BottleneckReport:
         return "\n".join(lines)
 
 
-def diagnose_node(gpa, node):
-    """Summarize interaction residency composition at one node."""
-    records = gpa.query_interactions(node=node)
+def diagnose_node(gpa, node, since=None):
+    """Summarize interaction residency composition at one node.
+
+    ``since`` restricts to interactions starting at or after that
+    reference time — the online diagnosis engine's recent-window blame.
+    """
+    records = gpa.query_interactions(node=node, since=since)
     if not records:
         return NodeDiagnosis(node, 0, 0.0, 0.0, 0.0, 0.0, 0.0, "no-data")
     components = {
@@ -85,12 +89,13 @@ def diagnose_node(gpa, node):
     )
 
 
-def find_bottleneck(gpa, nodes):
+def find_bottleneck(gpa, nodes, since=None):
     """Rank nodes by mean interaction residency; name the worst offender.
 
     Nodes with no observed interactions are reported but never win.
+    ``since`` is forwarded to :func:`diagnose_node`.
     """
-    diagnoses = [diagnose_node(gpa, node) for node in nodes]
+    diagnoses = [diagnose_node(gpa, node, since=since) for node in nodes]
     candidates = [d for d in diagnoses if d.interaction_count > 0]
     report = BottleneckReport(nodes=diagnoses)
     if not candidates:

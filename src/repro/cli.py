@@ -7,6 +7,7 @@ Usage::
     python -m repro nfs [--threads 1,2,4,8,16] [--ops 20] [--jobs N]
     python -m repro rubis [--scheduler dwcs|radwcs|both] [--duration 20] [--jobs N]
     python -m repro failures [--scenario daemon-crash|partition|both] [--seed N]
+    python -m repro diagnose [--smoke] [--seed N]
     python -m repro overhead [--smoke] [--threads N]
     python -m repro trace [--out trace.json] [--smoke]
 
@@ -32,6 +33,7 @@ def _cmd_list(_args):
         ("nfs", "Figures 4 & 5: virtual storage service bottleneck"),
         ("rubis", "Figures 6 & 7: DWCS vs resource-aware DWCS"),
         ("failures", "§3.2 failure detection: scripted outages + stale_nodes"),
+        ("diagnose", "online SLO diagnosis: CPU hog -> alert -> blame -> drill-down"),
         ("overhead", "per-node CPU attribution: monitoring share vs sampling rate"),
         ("trace", "Chrome trace-event JSON export (Perfetto) of one NFS run"),
     ]
@@ -165,6 +167,45 @@ def _cmd_failures(args):
     return 0
 
 
+def _cmd_diagnose(args):
+    from dataclasses import replace
+
+    from repro.experiments import run_diagnose_experiment
+    from repro.experiments.diagnose import DiagnoseConfig, smoke_config
+
+    config = smoke_config() if args.smoke else DiagnoseConfig()
+    if args.seed is not None:
+        config = replace(config, seed=args.seed)
+    result = run_diagnose_experiment(config)
+    print(result.dashboard or "(no mid-incident dashboard captured)")
+    print()
+    rows = [
+        ("hog onset", "{:.2f}s on {}".format(result.hog_at, config.hog_node)),
+        ("detected", "yes, +{:.2f}s".format(result.detection_latency)
+         if result.detected else "NO"),
+        ("blame", "{}/{} ({})".format(
+            result.blamed_node or "-", result.blamed_stage or "-",
+            "correct" if result.blame_correct else "WRONG")),
+        ("drill-down", "eviction {:.2f}s -> {:.2f}s{}".format(
+            result.interval_before, result.interval_during,
+            ", restored" if result.drill_restored else ", NOT restored")
+         if result.drilled else "never raised"),
+        ("resolved", "yes, +{:.2f}s after hog end".format(
+            result.resolution_latency) if result.resolved else "NO"),
+        ("monitoring share", "{:.2%} during drill / {:.2%} overall".format(
+            result.monitoring_share_during, result.monitoring_share_overall)),
+        ("sketch rows merged", result.sketch_rows),
+        ("trace hash", result.trace_hash[:16]),
+    ]
+    print(format_table(("stage", "outcome"), rows,
+                       title="online diagnosis closed loop"))
+    ok = (result.detected and result.blame_correct and result.drilled
+          and result.drill_restored and result.resolved)
+    print("\nclosed loop {}: detect -> blame -> drill -> restore".format(
+        "complete" if ok else "INCOMPLETE"))
+    return 0 if ok else 1
+
+
 def _observe_config(args):
     from dataclasses import replace
 
@@ -275,6 +316,13 @@ def build_parser():
     failures.add_argument("--fault-start", type=float, default=6.0)
     failures.add_argument("--fault-duration", type=float, default=5.0)
 
+    diagnose = commands.add_parser(
+        "diagnose", help="online SLO diagnosis of an injected CPU hog"
+    )
+    diagnose.add_argument("--smoke", action="store_true",
+                          help="tiny workload (CI-sized run)")
+    diagnose.add_argument("--seed", type=int, default=None)
+
     overhead = commands.add_parser(
         "overhead", help="per-node CPU attribution breakdown"
     )
@@ -303,6 +351,7 @@ def main(argv=None):
         "nfs": _cmd_nfs,
         "rubis": _cmd_rubis,
         "failures": _cmd_failures,
+        "diagnose": _cmd_diagnose,
         "overhead": _cmd_overhead,
         "trace": _cmd_trace,
     }[args.command]

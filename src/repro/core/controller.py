@@ -40,6 +40,7 @@ class Controller:
 
     def __init__(self, toolkit):
         self.toolkit = toolkit
+        self._drilled = {}  # node -> settings saved by drill_down()
 
     def _monitors(self, node=None):
         monitors = self.toolkit.monitors
@@ -91,6 +92,49 @@ class Controller:
     def set_eviction_interval(self, interval, node=None):
         for monitor in self._monitors(node):
             monitor.daemon.eviction_interval = interval
+
+    # ------------------------------------------------------------------
+    # closed-loop drill-down (the diagnosis engine's lever)
+    # ------------------------------------------------------------------
+
+    def drill_down(self, node, factor=4, granularity="interaction"):
+        """Raise monitoring resolution on one implicated node.
+
+        Divides the node's eviction interval by ``factor`` (more frequent
+        samples and sketch windows) and forces per-interaction records so
+        blame attribution has fine-grained data.  Returns the saved
+        settings for :meth:`restore`; idempotent while already drilled.
+        """
+        if node in self._drilled:
+            return self._drilled[node]
+        monitor = self.toolkit.monitors[node]
+        saved = {
+            "eviction_interval": monitor.daemon.eviction_interval,
+            "granularity": (
+                monitor.interaction_lpa.granularity
+                if monitor.interaction_lpa is not None else None
+            ),
+        }
+        self._drilled[node] = saved
+        self.set_eviction_interval(
+            monitor.daemon.eviction_interval / factor, node=node
+        )
+        if granularity is not None and monitor.interaction_lpa is not None:
+            self.set_granularity(granularity, node=node)
+        return saved
+
+    def restore(self, node):
+        """Undo :meth:`drill_down`; no-op if the node is not drilled."""
+        saved = self._drilled.pop(node, None)
+        if saved is None:
+            return False
+        self.set_eviction_interval(saved["eviction_interval"], node=node)
+        if saved["granularity"] is not None:
+            self.set_granularity(saved["granularity"], node=node)
+        return True
+
+    def drilled_nodes(self):
+        return sorted(self._drilled)
 
     # ------------------------------------------------------------------
     # event selection

@@ -470,6 +470,10 @@ class DisseminationDaemon:
             "reconnects": self.reconnects,
             "backoff_skips": self.backoff_skips,
             "endpoints_abandoned": self.endpoints_abandoned,
+            # Gauge: the controller's drill-down lever moves this at
+            # runtime, and the diagnosis experiment asserts it is raised
+            # then restored.
+            "eviction_interval": self.eviction_interval,
         }
 
 

@@ -422,6 +422,41 @@ class FrameDecoder:
         }
 
 
+def pack_count_runs(counts):
+    """Pack a sparse ``{index: count}`` table into ``(base, payload)``.
+
+    The payload is a run-length string of ``gap:count`` entries in
+    ascending index order, where ``gap`` is the distance from the
+    previous index (0 for the first entry, measured from ``base``).
+    Sketch bucket indices cluster tightly, so gaps stay single-digit and
+    the rendering fits a fixed-width ``strN`` field.  An empty table
+    packs to ``(0, "")``.
+    """
+    if not counts:
+        return 0, ""
+    ordered = sorted(counts)
+    base = ordered[0]
+    parts = []
+    previous = base
+    for index in ordered:
+        parts.append("{}:{}".format(index - previous, counts[index]))
+        previous = index
+    return base, ",".join(parts)
+
+
+def unpack_count_runs(base, payload):
+    """Inverse of :func:`pack_count_runs` — rebuild ``{index: count}``."""
+    counts = {}
+    if not payload:
+        return counts
+    index = int(base)
+    for entry in payload.split(","):
+        gap, _, count = entry.partition(":")
+        index += int(gap)
+        counts[index] = int(count)
+    return counts
+
+
 def encode_text(records, fmt=None):
     """Baseline text encoding (repr lines) for the encoding-cost ablation.
 

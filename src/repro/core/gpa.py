@@ -15,6 +15,7 @@ from collections import deque
 
 from repro.core import encoding
 from repro.core.channels import SYSPROF_PORT_BASE
+from repro.observability.sketches import SketchStore
 
 
 class CausalPath:
@@ -63,11 +64,15 @@ class GlobalPerformanceAnalyzer:
     """Receives channel data on a management node and answers queries."""
 
     def __init__(self, node, hub, clock_table=None, port=SYSPROF_PORT_BASE,
-                 history=50000, dump_path=None, dump_interval=None):
+                 history=50000, dump_path=None, dump_interval=None,
+                 stale_threshold=1.0):
         self.node = node
         self.hub = hub
         self.clock_table = clock_table
         self.port = port
+        # Default quiet-time before stale_nodes() suspects a node; also
+        # the fallback threshold for staleness SLO rules.
+        self.stale_threshold = stale_threshold
         self.registry = encoding.FormatRegistry()
         # Streaming frame decoder: adopts descriptors as they arrive and
         # unpacks whole frames through the cached multi-record packers.
@@ -77,6 +82,11 @@ class GlobalPerformanceAnalyzer:
         self.cpa_metrics = deque(maxlen=history)
         self.syscall_summaries = deque(maxlen=history)
         self.node_stats = {}  # node -> deque of samples
+        # Windowed quantile sketches merged from sysprof.sketch rows.
+        self.sketches = SketchStore(clock_table=clock_table)
+        # Optional DiagnosisEngine; attach() sets this and ingest() then
+        # offers every batch to its SLO evaluation.
+        self.diagnosis = None
         self.records_received = 0
         # Frames decoded by decoders that died with past processes; keeps
         # the stats() "frames_received" counter cumulative across restarts
@@ -106,6 +116,7 @@ class GlobalPerformanceAnalyzer:
             "sysprof/sysprof.nodestats",
             "sysprof/sysprof.cpa",
             "sysprof/sysprof.syscalls",
+            "sysprof/sysprof.sketch",
         ):
             self.hub.subscribe(channel, self.node.name, self.port)
 
@@ -156,6 +167,7 @@ class GlobalPerformanceAnalyzer:
         self.cpa_metrics.clear()
         self.syscall_summaries.clear()
         self.node_stats.clear()
+        self.sketches.clear()
         self.subscribe_all()  # idempotent; re-asserts hub registration
         self.restarts += 1
         return self.start()
@@ -188,6 +200,12 @@ class GlobalPerformanceAnalyzer:
                     continue
                 # Small per-record analysis cost at the global level.
                 yield from ctx.compute(2e-6 * len(rows))
+                if fmt.name == "sysprof.sketch":
+                    # Merging a serialized sketch into the store is a
+                    # bucket-table walk, not a constant-time append.
+                    yield from ctx.compute(
+                        self.node.kernel.costs.sketch_merge * len(rows)
+                    )
                 self.ingest_rows(fmt, rows)
             elif message.kind == "sysprof-data" and blob:
                 if meta.get("text"):
@@ -199,6 +217,12 @@ class GlobalPerformanceAnalyzer:
                     continue
                 # Small per-record analysis cost at the global level.
                 yield from ctx.compute(2e-6 * len(records))
+                if fmt.name == "sysprof.sketch":
+                    # Same merge charge as the frame path, so both wire
+                    # modes keep identical simulated CPU.
+                    yield from ctx.compute(
+                        self.node.kernel.costs.sketch_merge * len(records)
+                    )
                 self.ingest(fmt.name, records)
 
     def _answer_query(self, ctx, sock, meta):
@@ -254,6 +278,11 @@ class GlobalPerformanceAnalyzer:
             self.cpa_metrics.extend(records)
         elif format_name == "sysprof.syscalls":
             self.syscall_summaries.extend(records)
+        elif format_name == "sysprof.sketch":
+            for record in records:
+                self.sketches.ingest(record)
+        if self.diagnosis is not None:
+            self.diagnosis.on_ingest(format_name, records)
 
     def _correct_times(self, record):
         """Annotate with reference-timescale start/end via the clock table."""
@@ -324,7 +353,7 @@ class GlobalPerformanceAnalyzer:
             "ts": last["ts"],
         }
 
-    def stale_nodes(self, now_ref, threshold):
+    def stale_nodes(self, now_ref, threshold=None):
         """Failure suspicion: monitored nodes whose telemetry went quiet.
 
         "A typical problem in these environments is to detect failures
@@ -332,9 +361,13 @@ class GlobalPerformanceAnalyzer:
         dissemination daemon has not published a nodestats sample within
         ``threshold`` of reference-time ``now_ref`` is suspected down
         (crashed node, wedged kernel, or partitioned network).
+        ``threshold`` defaults to the installation's configured
+        ``stale_threshold``.
 
         Returns ``{node: seconds_since_last_sample}``.
         """
+        if threshold is None:
+            threshold = self.stale_threshold
         suspects = {}
         for node, history in self.node_stats.items():
             if not history:
@@ -414,6 +447,8 @@ class GlobalPerformanceAnalyzer:
             "frames_received": self.frames_received_base
             + self.frame_decoder.frames_decoded,
             "decode_errors": self.decode_errors,
+            "sketch_rows": self.sketches.rows_ingested,
+            "sketch_series": len(self.sketches.series),
             "dumps_written": self.dumps_written,
             "queries_served": self.queries_served,
             "restarts": self.restarts,

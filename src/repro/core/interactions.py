@@ -338,3 +338,18 @@ class InteractionTracker:
             record = InteractionRecord(self.node_name, request, response)
             self.interactions_emitted += 1
             self.emit(record)
+
+
+def pending_interactions(tracker):
+    """Load signal: inbound requests seen but not yet answered.
+
+    Counts undelivered inbound messages across the tracker's open flows —
+    the queue-depth metric sampled by :class:`~repro.core.lpa.NodeStatsLPA`
+    and sketched per request class by :class:`~repro.core.lpa.SketchLPA`.
+    """
+    pending = 0
+    for flow in tracker.flows.values():
+        pending += sum(
+            1 for message in flow.undelivered if message.deliver_ts is None
+        )
+    return pending

@@ -23,9 +23,14 @@ task accounting at message boundaries.
 from collections import deque
 
 from repro.core.buffers import DoubleBuffer
-from repro.core.interactions import InteractionTracker
+from repro.core.interactions import InteractionTracker, pending_interactions
 from repro.observability import tracer as _trace
-from repro.ossim.task import BAND_KERNEL
+from repro.observability.sketches import (
+    QuantileSketch,
+    SKETCH_METRICS,
+    SKETCH_PAYLOAD_WIDTH,
+)
+from repro.ossim.task import BAND_IRQ, BAND_KERNEL
 from repro.ossim import tracepoints as tp
 from repro.sim.stats import RunningStat
 
@@ -89,6 +94,30 @@ NODE_STATS_FORMAT = (
         ("ctx_switches", "i64"),
         ("rx_backlog_bytes", "i64"),
         ("pending_interactions", "u32"),
+    ),
+)
+
+
+# Serialized quantile sketches: one row per (request class, metric) per
+# eviction window, fixed width regardless of request rate.  The bucket
+# table travels as a run-length string (see repro.core.encoding
+# pack_count_runs); base_index anchors the first run.
+SKETCH_FORMAT = (
+    "sysprof.sketch",
+    (
+        ("node", "str16"),
+        ("request_class", "str24"),
+        ("metric", "str8"),
+        ("window_start", "f64"),
+        ("window_end", "f64"),
+        ("count", "i64"),
+        ("zero_count", "i64"),
+        ("min_value", "f64"),
+        ("max_value", "f64"),
+        ("sum_value", "f64"),
+        ("alpha", "f64"),
+        ("base_index", "i64"),
+        ("buckets", "str{}".format(SKETCH_PAYLOAD_WIDTH)),
     ),
 )
 
@@ -195,6 +224,9 @@ class InteractionLPA(LocalPerformanceAnalyzer):
         self._class_stats = {}
         self._class_window_start = kernel.sim.now
         self.open_interactions = 0
+        # Optional SketchLPA observing every emitted interaction (wired by
+        # the toolkit when SysProfConfig.latency_sketches is on).
+        self.sketches = None
 
     def _local_ip(self):
         try:
@@ -328,6 +360,8 @@ class InteractionLPA(LocalPerformanceAnalyzer):
                 self.kernel.name, record, clock=self.kernel.clock
             )
         self.window.append(record)
+        if self.sketches is not None:
+            self.sketches.observe(record)
         if self.granularity == "interaction":
             self.buffer.append(record.as_row())
         else:
@@ -400,6 +434,92 @@ class InteractionLPA(LocalPerformanceAnalyzer):
                 "messages": self.tracker.messages_closed,
                 "unpaired": self.tracker.unpaired_messages,
                 "flows": len(self.tracker.flows),
+            }
+        )
+        return base
+
+
+class SketchLPA(LocalPerformanceAnalyzer):
+    """Per-request-class quantile sketches for latency and queue depth.
+
+    Not subscribed to Kprof: the companion :class:`InteractionLPA` feeds
+    every emitted interaction through :meth:`observe` (same fast path,
+    one extra callback).  Each eviction window serializes the live
+    sketches as ``SKETCH_FORMAT`` rows — one bounded row per (class,
+    metric) no matter how many interactions landed in the window — and
+    resets them, so the GPA merges windows instead of raw records.
+
+    Each observation charges ``sketch_update`` simulated CPU per metric
+    in interrupt context under the ledger's "analyzer" category, keeping
+    the monitoring-overhead story emergent.
+    """
+
+    record_format = SKETCH_FORMAT
+
+    def __init__(self, kernel, kprof, source, name="sketch-lpa",
+                 buffer_capacity=64, alpha=0.01, max_buckets=256,
+                 on_buffer_full=None):
+        super().__init__(
+            kernel, kprof, name,
+            buffer_capacity=buffer_capacity, on_buffer_full=on_buffer_full,
+        )
+        self.source = source
+        self.alpha = alpha
+        self.max_buckets = max_buckets
+        self._sketches = {}  # (request_class, metric) -> QuantileSketch
+        self._window_start = kernel.clock.local_time(kernel.sim.now)
+        self.updates = 0
+        self.rows_emitted = 0
+
+    def _subscribe(self):
+        """No Kprof subscriptions; fed by the interaction LPA's hook."""
+
+    def observe(self, record):
+        """Fold one emitted interaction into the live sketches."""
+        request_class = self.source.classify(record)
+        self._update(request_class, "latency", record.total_latency)
+        self._update(
+            request_class, "qdepth", pending_interactions(self.source.tracker)
+        )
+        self.kernel.cpu.submit(
+            None, self.kernel.costs.sketch_update * len(SKETCH_METRICS),
+            "kernel", band=BAND_IRQ, attribution="analyzer",
+        ).defuse()
+
+    def _update(self, request_class, metric, value):
+        key = (request_class, metric)
+        sketch = self._sketches.get(key)
+        if sketch is None:
+            sketch = self._sketches[key] = QuantileSketch(
+                alpha=self.alpha, max_buckets=self.max_buckets
+            )
+        sketch.add(value)
+        self.updates += 1
+
+    def evict(self):
+        now = self.kernel.clock.local_time(self.kernel.sim.now)
+        for request_class, metric in sorted(self._sketches):
+            sketch = self._sketches[(request_class, metric)]
+            if sketch.count == 0:
+                continue
+            self.buffer.append(
+                sketch.to_row(
+                    self.kernel.name, request_class, metric,
+                    self._window_start, now,
+                )
+            )
+            self.rows_emitted += 1
+        self._sketches.clear()
+        self._window_start = now
+        return super().evict()
+
+    def stats(self):
+        base = super().stats()
+        base.update(
+            {
+                "updates": self.updates,
+                "rows_emitted": self.rows_emitted,
+                "sketches": len(self._sketches),
             }
         )
         return base

@@ -17,6 +17,16 @@ Supported query kinds:
 
 _QUERY_BYTES = 160
 
+# Process-global aggregate over every client instance, so the metrics
+# registry can expose query activity without holding client references
+# (clients are short-lived task-local objects).
+_CLIENT_TOTALS = {"clients": 0, "queries_sent": 0}
+
+
+def client_stats():
+    """Aggregate ``stats()`` across all :class:`GpaQueryClient` objects."""
+    return dict(_CLIENT_TOTALS)
+
 
 class GpaQueryError(Exception):
     """The GPA rejected or failed a remote query."""
@@ -44,6 +54,7 @@ class GpaQueryClient:
         self.port = port
         self.sock = None
         self.queries_sent = 0
+        _CLIENT_TOTALS["clients"] += 1
 
     def connect(self):
         self.sock = yield from self.ctx.connect(self.gpa_node, self.port)
@@ -57,6 +68,7 @@ class GpaQueryClient:
             meta={"kind": kind, "params": params},
         )
         self.queries_sent += 1
+        _CLIENT_TOTALS["queries_sent"] += 1
         reply = yield from self.ctx.recv_message(self.sock)
         if reply is None:
             raise GpaQueryError("GPA closed the connection")

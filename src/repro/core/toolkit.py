@@ -25,8 +25,9 @@ from repro.core.channels import (
 from repro.core.controller import Controller
 from repro.core.daemon import DisseminationDaemon
 from repro.core.gpa import GlobalPerformanceAnalyzer
+from repro.core.interactions import pending_interactions
 from repro.core.kprof import Kprof, exclude_port_range
-from repro.core.lpa import InteractionLPA, NodeStatsLPA, SyscallLPA
+from repro.core.lpa import InteractionLPA, NodeStatsLPA, SketchLPA, SyscallLPA
 from repro.observability.metrics import build_registry
 
 
@@ -41,6 +42,14 @@ class SysProfConfig:
     idle_timeout: float = 1.0
     nodestats: bool = True
     syscall_stats: bool = False  # per-syscall latency aggregation LPA
+    # Streaming quantile sketches per request class (latency + queue
+    # depth), shipped as sysprof.sketch rows and merged at the GPA.
+    latency_sketches: bool = False
+    sketch_alpha: float = 0.01      # relative-error bound per sketch
+    sketch_max_buckets: int = 256   # bucket-table cap before collapse
+    # Seconds without nodestats before gpa.stale_nodes() flags a node
+    # (also the default threshold for staleness SLO rules).
+    stale_threshold: float = 1.0
     arm_correlation: bool = False  # pair interleaved requests by ARM token
     exclude_self_traffic: bool = True
     gpa_port: int = SYSPROF_PORT_BASE
@@ -62,13 +71,14 @@ class NodeMonitor:
     """Everything SysProf runs on one monitored node."""
 
     def __init__(self, node, kprof, interaction_lpa, nodestats_lpa, daemon,
-                 syscall_lpa=None):
+                 syscall_lpa=None, sketch_lpa=None):
         self.node = node
         self.kernel = node.kernel
         self.kprof = kprof
         self.interaction_lpa = interaction_lpa
         self.nodestats_lpa = nodestats_lpa
         self.syscall_lpa = syscall_lpa
+        self.sketch_lpa = sketch_lpa
         self.daemon = daemon
         self.cpas = {}
 
@@ -80,6 +90,8 @@ class NodeMonitor:
             lpas.append(self.nodestats_lpa)
         if self.syscall_lpa is not None:
             lpas.append(self.syscall_lpa)
+        if self.sketch_lpa is not None:
+            lpas.append(self.sketch_lpa)
         lpas.extend(self.cpas.values())
         return lpas
 
@@ -114,6 +126,7 @@ class SysProf:
                 port=self.config.gpa_port, history=self.config.gpa_history,
                 dump_path=self.config.dump_path,
                 dump_interval=self.config.dump_interval,
+                stale_threshold=self.config.stale_threshold,
             )
             self.gpa.subscribe_all()
         # One registry over every component's stats(), exposed through
@@ -156,16 +169,25 @@ class SysProf:
             tracker = interaction_lpa.tracker
             nodestats_lpa = NodeStatsLPA(
                 node.kernel, kprof,
-                pending_probe=lambda tracker=tracker: _pending_interactions(tracker),
+                pending_probe=lambda tracker=tracker: pending_interactions(tracker),
             )
             daemon.add_lpa(nodestats_lpa)
         syscall_lpa = None
         if config.syscall_stats:
             syscall_lpa = SyscallLPA(node.kernel, kprof)
             daemon.add_lpa(syscall_lpa)
+        sketch_lpa = None
+        if config.latency_sketches:
+            sketch_lpa = SketchLPA(
+                node.kernel, kprof, interaction_lpa,
+                alpha=config.sketch_alpha,
+                max_buckets=config.sketch_max_buckets,
+            )
+            interaction_lpa.sketches = sketch_lpa
+            daemon.add_lpa(sketch_lpa)
         self.monitors[node.name] = NodeMonitor(
             node, kprof, interaction_lpa, nodestats_lpa, daemon,
-            syscall_lpa=syscall_lpa,
+            syscall_lpa=syscall_lpa, sketch_lpa=sketch_lpa,
         )
 
     # ------------------------------------------------------------------
@@ -217,13 +239,3 @@ class SysProf:
     def local_window(self, node_name):
         """Direct read of a node's recent-interaction window (local query)."""
         return self.monitors[node_name].interaction_lpa.window_snapshot()
-
-
-def _pending_interactions(tracker):
-    """Load signal: inbound requests seen but not yet answered."""
-    pending = 0
-    for flow in tracker.flows.values():
-        pending += sum(
-            1 for message in flow.undelivered if message.deliver_ts is None
-        )
-    return pending

@@ -19,6 +19,11 @@ from repro.experiments.microbench import (
     run_headline_experiments,
 )
 from repro.experiments.runner import available_jobs, derive_seed, run_points
+from repro.experiments.diagnose import (
+    DiagnoseConfig,
+    DiagnoseRunResult,
+    run_diagnose_experiment,
+)
 from repro.experiments.failures import (
     FailureExperimentConfig,
     FailureRunResult,
@@ -46,6 +51,8 @@ from repro.experiments.rubis_qos import (
 )
 
 __all__ = [
+    "DiagnoseConfig",
+    "DiagnoseRunResult",
     "FailureExperimentConfig",
     "FailureRunResult",
     "NfsExperimentConfig",
@@ -66,6 +73,7 @@ __all__ = [
     "monitoring_cost_experiment",
     "overhead_range_experiment",
     "run_comparison",
+    "run_diagnose_experiment",
     "run_failure_experiment",
     "run_failure_suite",
     "run_headline_experiments",

@@ -109,6 +109,7 @@ def run_failure_experiment(config=None):
         SysProfConfig(
             eviction_interval=config.eviction_interval,
             frame_dissemination=config.frame_dissemination,
+            stale_threshold=config.stale_threshold,
         ),
     )
     sysprof.install(monitored=["proxy"] + backend_names, gpa_node=config.gpa_node)
@@ -136,7 +137,9 @@ def run_failure_experiment(config=None):
 
     def probe():
         now = cluster.sim.now
-        stale = sysprof.gpa.stale_nodes(now, config.stale_threshold)
+        # No explicit threshold: the GPA default comes from the installed
+        # SysProfConfig.stale_threshold above.
+        stale = sysprof.gpa.stale_nodes(now)
         if target in stale:
             if probe_state["detected_at"] is None and now >= config.fault_start:
                 probe_state["detected_at"] = now

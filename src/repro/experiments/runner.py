@@ -23,7 +23,16 @@ import multiprocessing
 import os
 import zlib
 
-__all__ = ["available_jobs", "derive_seed", "run_points"]
+__all__ = ["available_jobs", "derive_seed", "run_points", "stats"]
+
+# Parent-process sweep totals for the metrics registry (worker processes
+# keep their own copies; only the coordinating process's counts matter).
+_STATS = {"sweeps": 0, "points_run": 0, "parallel_sweeps": 0}
+
+
+def stats():
+    """Cumulative sweep-runner counters (registered as ``sysprof.runner``)."""
+    return dict(_STATS)
 
 
 def derive_seed(base_seed, label):
@@ -54,8 +63,11 @@ def run_points(fn, points, jobs=1):
     if jobs is None:
         jobs = available_jobs()
     jobs = max(1, int(jobs))
+    _STATS["sweeps"] += 1
+    _STATS["points_run"] += len(points)
     if jobs == 1 or len(points) <= 1:
         return [fn(point) for point in points]
+    _STATS["parallel_sweeps"] += 1
     # fork (where available) inherits the imported modules, which keeps
     # worker start-up cheap; spawn is the portable fallback.
     method = "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"

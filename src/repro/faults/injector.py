@@ -16,7 +16,13 @@ to writers.
 """
 
 from repro.faults import schedule as sched
+from repro.ossim.task import BAND_KERNEL, BAND_USER
 from repro.sim.errors import SimError
+
+#: Duty-cycle slice for cpu_hog tasks: short enough that sub-unity
+#: utilizations interleave with the victim under the 10ms round-robin
+#: quantum, long enough to keep the event count per hog small.
+_HOG_BURST = 0.005
 
 
 class FaultInjector:
@@ -28,6 +34,7 @@ class FaultInjector:
         self.rng_name = rng_name
         self.log = []  # [{"at": fired_time, "kind": ..., "target": ...}]
         self.fired = 0
+        self.hogs_spawned = 0
         self._armed = False
         self._rng = None
         self._handlers = {
@@ -40,7 +47,10 @@ class FaultInjector:
             sched.KIND_LINK_UP: self._do_link_up,
             sched.KIND_PARTITION: self._do_partition,
             sched.KIND_HEAL: self._do_heal,
+            sched.KIND_CPU_HOG: self._do_cpu_hog,
         }
+        if sysprof is not None and getattr(sysprof, "metrics", None) is not None:
+            sysprof.metrics.register_source("sysprof.faults", self.stats)
 
     # ------------------------------------------------------------------
 
@@ -150,6 +160,32 @@ class FaultInjector:
     def _do_heal(self, event):
         self.cluster.fabric.heal()
 
+    def _do_cpu_hog(self, event):
+        node = self.cluster.node(event.target)
+        duration = float(event.params["duration"])
+        utilization = float(event.params.get("utilization", 1.0))
+        band_name = event.params.get("band", "kernel")
+        band = BAND_KERNEL if band_name == "kernel" else BAND_USER
+
+        def hog(ctx):
+            # Duty-cycle loop: burn ``utilization`` of each slice, sleep
+            # the rest.  The burn itself is ordinary task CPU, so the
+            # ledger attributes it to the workload — a hog is a
+            # misbehaving application, not a monitoring cost.
+            end = ctx.now + duration
+            burn = _HOG_BURST * utilization
+            idle = _HOG_BURST - burn
+            while ctx.now < end:
+                if band == BAND_KERNEL:
+                    yield from ctx.kcompute(burn)
+                else:
+                    yield from ctx.compute(burn)
+                if idle > 0.0:
+                    yield from ctx.sleep(idle)
+
+        node.spawn("cpu-hog", hog, band=band)
+        self.hogs_spawned += 1
+
     def _abort_connections(self, crossing):
         """RTO stand-in: abort every established connection the fault cut."""
         for node in self.cluster.nodes.values():
@@ -165,3 +201,7 @@ class FaultInjector:
         for entry in self.log:
             counts[entry["kind"]] = counts.get(entry["kind"], 0) + 1
         return counts
+
+    def stats(self):
+        """Counters for the metrics registry (``sysprof.faults``)."""
+        return {"fired": self.fired, "hogs_spawned": self.hogs_spawned}

@@ -15,6 +15,7 @@ KIND_LINK_DOWN = "link_down"
 KIND_LINK_UP = "link_up"
 KIND_PARTITION = "partition"
 KIND_HEAL = "heal"
+KIND_CPU_HOG = "cpu_hog"
 
 KINDS = frozenset(
     {
@@ -27,6 +28,7 @@ KINDS = frozenset(
         KIND_LINK_UP,
         KIND_PARTITION,
         KIND_HEAL,
+        KIND_CPU_HOG,
     }
 )
 
@@ -38,6 +40,7 @@ _NODE_TARGET_KINDS = frozenset(
         KIND_NODE_CRASH,
         KIND_LINK_DOWN,
         KIND_LINK_UP,
+        KIND_CPU_HOG,
     }
 )
 
@@ -79,6 +82,16 @@ class FaultEvent:
             groups = self.params.get("groups")
             if not groups or not all(group for group in groups):
                 raise ScheduleError("partition requires non-empty groups")
+        if self.kind == KIND_CPU_HOG:
+            if float(self.params.get("duration", 0.0)) <= 0.0:
+                raise ScheduleError("cpu_hog requires duration > 0")
+            utilization = float(self.params.get("utilization", 1.0))
+            if not 0.0 < utilization <= 1.0:
+                raise ScheduleError(
+                    "cpu_hog utilization must be in (0, 1], got {}".format(
+                        utilization
+                    )
+                )
 
     def to_dict(self):
         entry = {"at": self.at, "kind": self.kind}
@@ -151,6 +164,25 @@ class FaultSchedule:
 
     def crash_node(self, at, node, jitter=0.0):
         return self.add(at, KIND_NODE_CRASH, target=node, jitter=jitter)
+
+    # -- resource contention ---------------------------------------------
+
+    def cpu_hog(self, at, node, duration, utilization=1.0, band="kernel",
+                jitter=0.0):
+        """A runaway task burns ``utilization`` of one core on ``node``
+        for ``duration`` seconds.  ``band`` is ``"kernel"`` or ``"user"``;
+        kernel-band hogs compete with in-kernel services (nfsd, sysprofd)
+        under the round-robin quantum, which is the degradation the
+        online diagnosis engine is built to catch."""
+        return self.add(
+            at, KIND_CPU_HOG, target=node,
+            params={
+                "duration": float(duration),
+                "utilization": float(utilization),
+                "band": band,
+            },
+            jitter=jitter,
+        )
 
     # -- network faults --------------------------------------------------
 

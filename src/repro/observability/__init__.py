@@ -8,6 +8,12 @@ over simulated time exporting Chrome trace-event JSON for Perfetto
 (:mod:`repro.observability.tracer`), and a :class:`MetricsRegistry`
 unifying the ad-hoc per-component ``stats()`` dicts behind one named,
 typed counter/gauge surface (:mod:`repro.observability.metrics`).
+On top of those sit the paper's *online* diagnosis pieces (§1, §3.2):
+mergeable log-bucketed quantile sketches shipped over the frame wire
+format (:mod:`repro.observability.sketches`), declarative SLO rules
+with hysteresis (:mod:`repro.observability.slo`), and the closed-loop
+:class:`DiagnosisEngine` (:mod:`repro.observability.diagnosis`) that
+blames a node/stage and drills monitoring down on it.
 Everything here is host-side bookkeeping: it charges zero simulated CPU
 and perturbs no event ordering, so same-seed traces are byte-identical
 with observability on or off (enforced by
@@ -26,6 +32,14 @@ from repro.observability.metrics import (
     build_registry,
 )
 from repro.observability.tracer import SpanTracer, validate_chrome_trace
+from repro.observability.sketches import (
+    SKETCH_METRICS,
+    SKETCH_PAYLOAD_WIDTH,
+    QuantileSketch,
+    SketchStore,
+)
+from repro.observability.slo import Alert, SloParseError, SloRule, parse_rules
+from repro.observability.diagnosis import DiagnosisEngine
 
 __all__ = [
     "CATEGORIES",
@@ -37,4 +51,13 @@ __all__ = [
     "build_registry",
     "SpanTracer",
     "validate_chrome_trace",
+    "SKETCH_METRICS",
+    "SKETCH_PAYLOAD_WIDTH",
+    "QuantileSketch",
+    "SketchStore",
+    "Alert",
+    "SloParseError",
+    "SloRule",
+    "parse_rules",
+    "DiagnosisEngine",
 ]

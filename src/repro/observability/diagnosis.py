@@ -1,0 +1,274 @@
+"""The online diagnosis engine: evaluate SLOs, blame, drill down.
+
+Ties the streaming pieces into the paper's closed loop ("runtime
+streaming analyses" that detect SLA violations *while the system runs*,
+§1/§3.2):
+
+1. frames arrive at the GPA and land in its sketch store / nodestats
+   history; the GPA offers every ingested batch to
+   :meth:`DiagnosisEngine.on_ingest`;
+2. at most once per ``eval_interval`` of simulated time the engine
+   measures every :class:`~repro.observability.slo.SloRule` against the
+   merged sketches, the CPU ledger, and node staleness;
+3. a rule that fires produces an :class:`~repro.observability.slo.Alert`
+   carrying **blame** — the node with the highest mean local residency
+   over the recent window and its dominant stage (kernel-wait /
+   kernel-cpu / user / io-blocked), reusing
+   :mod:`repro.analysis.bottleneck`;
+4. the blamed node is **drilled down**: the engine asks the
+   :class:`~repro.core.controller.Controller` to shrink that node's
+   eviction interval and force per-interaction records, so diagnosis
+   data sharpens exactly where the problem is; resolution restores the
+   saved settings.
+
+Purity contract: the engine is host-side analysis driven from the GPA's
+ingest path — it charges no simulated CPU, schedules no events, and
+reads no random streams, so an installed engine whose rules never fire
+cannot change a same-seed trace hash.  (When a rule *does* fire, the
+drill-down changes monitoring behavior — that perturbation is the
+point, and it is measured via the ledger.)
+"""
+
+from repro.observability import ledger as _ledger
+from repro.observability.slo import Alert, parse_rules
+
+#: Percentiles rendered in the dashboard's latency table.
+DASHBOARD_PERCENTILES = (50.0, 90.0, 95.0, 99.0)
+
+
+class DiagnosisEngine:
+    """Online SLO evaluation with blame attribution and drill-down."""
+
+    def __init__(self, sysprof, rules=(), ledger=None, lookback=2.0,
+                 eval_interval=0.1, drill_factor=4,
+                 drill_granularity="interaction", blame_window=None):
+        self.sysprof = sysprof
+        self.gpa = sysprof.gpa
+        if self.gpa is None:
+            raise ValueError("DiagnosisEngine needs an installed GPA")
+        self.controller = sysprof.controller
+        self.ledger = ledger if ledger is not None else _ledger.active()
+        self.rules = parse_rules(rules)
+        self.lookback = lookback
+        self.eval_interval = eval_interval
+        self.drill_factor = drill_factor
+        self.drill_granularity = drill_granularity
+        self.blame_window = blame_window if blame_window is not None else lookback
+        self.alerts = []        # every Alert ever fired, in order
+        self.active = {}        # rule name -> firing Alert
+        self.drill_log = []     # one dict per drill-down episode
+        self._drill_open = {}   # node -> open episode dict
+        self.evaluations = 0
+        self.alerts_fired = 0
+        self.alerts_resolved = 0
+        self._last_eval = None
+        self.gpa.diagnosis = self
+        if sysprof.metrics is not None:
+            sysprof.metrics.register_source("sysprof.diagnosis", self.stats)
+
+    def detach(self):
+        """Unhook from the GPA's ingest path."""
+        if self.gpa.diagnosis is self:
+            self.gpa.diagnosis = None
+
+    # ------------------------------------------------------------------
+    # ingest-driven evaluation
+    # ------------------------------------------------------------------
+
+    def on_ingest(self, format_name, records):
+        """GPA hook: rate-limited evaluation as telemetry arrives."""
+        if format_name not in ("sysprof.sketch", "sysprof.nodestats"):
+            return
+        now = self.gpa.node.sim.now
+        if self._last_eval is not None and now - self._last_eval < self.eval_interval:
+            return
+        self.evaluate(now)
+
+    def evaluate(self, now):
+        """Measure every rule once and advance its alert state."""
+        self._last_eval = now
+        self.evaluations += 1
+        for rule in self.rules:
+            value = rule.measure(
+                self.gpa, ledger=self.ledger, now=now,
+                lookback=rule.lookback or self.lookback,
+            )
+            transition = rule.update(
+                value, threshold=rule.effective_threshold(self.gpa)
+            )
+            if transition == "fire":
+                self._on_fire(rule, value, now)
+            elif transition == "clear":
+                self._on_clear(rule, value, now)
+        return self.active
+
+    def _on_fire(self, rule, value, now):
+        blame = self.blame(rule, now)
+        alert = Alert(rule, now, value, blame=blame)
+        self.active[rule.name] = alert
+        self.alerts.append(alert)
+        self.alerts_fired += 1
+        node = blame.get("node")
+        if node:
+            self._drill(node, now)
+
+    def _on_clear(self, rule, value, now):
+        alert = self.active.pop(rule.name, None)
+        if alert is None:
+            return
+        alert.resolve(now, value)
+        self.alerts_resolved += 1
+        node = alert.blame.get("node")
+        if node and not self._still_blamed(node):
+            self._restore(node, now)
+
+    def _still_blamed(self, node):
+        return any(
+            alert.blame.get("node") == node for alert in self.active.values()
+        )
+
+    # ------------------------------------------------------------------
+    # blame attribution
+    # ------------------------------------------------------------------
+
+    def blame(self, rule, now):
+        """Name the responsible node and its dominant stage."""
+        if rule.kind == "staleness":
+            return {"node": rule.node, "stage": "stale", "reason": "telemetry quiet"}
+        if rule.kind == "cpu_share":
+            return {"node": rule.node, "stage": rule.category,
+                    "reason": "category share over threshold"}
+        # Latency/qdepth: rank monitored nodes by recent local residency.
+        # Deferred import — analysis pulls in the experiments package,
+        # which imports repro.core; importing it at module load would
+        # cycle through a partially-initialized core package.
+        from repro.analysis.bottleneck import find_bottleneck
+
+        candidates = (
+            [rule.node] if rule.node else sorted(self.sysprof.monitors)
+        )
+        since = now - self.blame_window
+        report = find_bottleneck(self.gpa, candidates, since=since)
+        if report.bottleneck in ("", "unknown"):
+            # No fine-grained records in the window (e.g. class-granularity
+            # nodes); fall back to the whole history.
+            report = find_bottleneck(self.gpa, candidates)
+        diagnosis = next(
+            (d for d in report.nodes if d.node == report.bottleneck), None
+        )
+        return {
+            "node": report.bottleneck if diagnosis else None,
+            "stage": diagnosis.dominant_component if diagnosis else None,
+            "reason": report.reason,
+        }
+
+    # ------------------------------------------------------------------
+    # closed-loop drill-down
+    # ------------------------------------------------------------------
+
+    def _drill(self, node, now):
+        if node in self._drill_open or node not in self.sysprof.monitors:
+            return
+        saved = self.controller.drill_down(
+            node, factor=self.drill_factor,
+            granularity=self.drill_granularity,
+        )
+        monitor = self.sysprof.monitors[node]
+        episode = {
+            "node": node,
+            "raised_at": now,
+            "restored_at": None,
+            "interval_before": saved["eviction_interval"],
+            "interval_during": monitor.daemon.eviction_interval,
+        }
+        if self.ledger is not None:
+            episode["monitoring_before"] = self.ledger.monitoring_time(node)
+            episode["busy_before"] = self.ledger.busy_total(node)
+        self._drill_open[node] = episode
+        self.drill_log.append(episode)
+
+    def _restore(self, node, now):
+        episode = self._drill_open.pop(node, None)
+        if episode is None:
+            return
+        self.controller.restore(node)
+        episode["restored_at"] = now
+        if self.ledger is not None and "monitoring_before" in episode:
+            episode["monitoring_during"] = (
+                self.ledger.monitoring_time(node) - episode["monitoring_before"]
+            )
+            episode["busy_during"] = (
+                self.ledger.busy_total(node) - episode["busy_before"]
+            )
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+
+    def dashboard(self, now=None):
+        """Render the live text dashboard: percentile table, active
+        alerts, and per-node CPU shares."""
+        if now is None:
+            now = self.gpa.node.sim.now
+        since = now - self.lookback
+        lines = ["== sysprof diagnosis @ t={:.2f}s ==".format(now)]
+        classes = self.gpa.sketches.classes(metric="latency")
+        header = "{:<18}{:>8}".format("class", "count") + "".join(
+            "{:>9}".format("p{:g}".format(p)) for p in DASHBOARD_PERCENTILES
+        )
+        lines.append(header)
+        for request_class in classes:
+            sketch = self.gpa.sketches.merged(
+                request_class=request_class, metric="latency", since=since
+            )
+            if sketch.count == 0:
+                continue
+            row = "{:<18}{:>8}".format(request_class, sketch.count) + "".join(
+                "{:>9}".format("{:.2f}ms".format(sketch.percentile(p) * 1e3))
+                for p in DASHBOARD_PERCENTILES
+            )
+            lines.append(row)
+        if len(lines) == 2:
+            lines.append("  (no sketch data in window)")
+        lines.append("active alerts:")
+        if self.active:
+            for name in sorted(self.active):
+                lines.append("  " + self.active[name].describe())
+        else:
+            lines.append("  (none)")
+        lines.append("node CPU shares:")
+        if self.ledger is not None:
+            for node in self.ledger.nodes():
+                breakdown = self.ledger.breakdown(node, include_idle=False)
+                busy = sum(breakdown.values())
+                if busy <= 0.0:
+                    continue
+                shares = "  ".join(
+                    "{} {:.1%}".format(category, seconds / busy)
+                    for category, seconds in sorted(breakdown.items())
+                    if seconds > 0.0
+                )
+                lines.append("  {:<12}{}".format(node, shares))
+        else:
+            lines.append("  (CPU ledger not installed)")
+        if self._drill_open:
+            lines.append(
+                "drilled nodes: " + ", ".join(sorted(self._drill_open))
+            )
+        return "\n".join(lines)
+
+    def stats(self):
+        return {
+            "rules": len(self.rules),
+            "evaluations": self.evaluations,
+            "alerts_fired": self.alerts_fired,
+            "alerts_resolved": self.alerts_resolved,
+            "active_alerts": len(self.active),
+            "drilldowns": len(self.drill_log),
+            "drilled_nodes": sorted(self._drill_open),
+        }
+
+    def __repr__(self):
+        return "<DiagnosisEngine rules={} active={}>".format(
+            len(self.rules), len(self.active)
+        )

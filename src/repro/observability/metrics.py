@@ -33,6 +33,8 @@ _GAUGE_FIELDS = frozenset((
     "active_length", "open_calls", "flows", "interactions",
     "class_summaries", "cpa_metrics", "syscall_summaries",
     "queued", "depth", "offset",
+    "eviction_interval", "stale_threshold", "sketches", "sketch_series",
+    "series", "rules", "active_alerts", "clients",
 ))
 
 
@@ -115,8 +117,19 @@ class MetricsRegistry:
         (nested dicts extend the name with dots) and non-numeric values
         are skipped.  Field kind is inferred: names in a small gauge
         vocabulary become gauges, everything else a counter.
+
+        Re-registering a prefix replaces the old source (components like
+        the diagnosis engine may be rebuilt mid-run).
         """
+        for i, (existing, _fn) in enumerate(self._sources):
+            if existing == prefix:
+                self._sources[i] = (prefix, fn)
+                return
         self._sources.append((prefix, fn))
+
+    def source_prefixes(self):
+        """Registered source prefixes (coverage tests read this)."""
+        return [prefix for prefix, _fn in self._sources]
 
     # -- collection -----------------------------------------------------
 
@@ -190,6 +203,11 @@ def build_registry(sysprof):
         registry.register_source(
             "sysprof.gpa.{}".format(sysprof.gpa.node.name), sysprof.gpa.stats
         )
+        registry.gauge(
+            "sysprof.gpa.{}.stale_threshold".format(sysprof.gpa.node.name),
+            help="seconds of telemetry silence before a node is suspect",
+            fn=lambda gpa=sysprof.gpa: gpa.stale_threshold,
+        )
     clock_table = sysprof.clock_table
     if clock_table is not None:
         for node_name in sorted(getattr(clock_table, "_offsets", {})):
@@ -201,6 +219,14 @@ def build_registry(sysprof):
     fabric = getattr(sysprof.cluster, "fabric", None)
     if fabric is not None and hasattr(fabric, "stats"):
         registry.register_source("sysprof.netsim", fabric.stats)
+    # Process-global counting components (PR 5 satellite): the GPA query
+    # client aggregate and the experiment sweep runner.  Imported lazily —
+    # both modules sit above this one in the import graph.
+    from repro.core.query import client_stats
+    from repro.experiments.runner import stats as runner_stats
+
+    registry.register_source("sysprof.query", client_stats)
+    registry.register_source("sysprof.runner", runner_stats)
     for kernel in kernels:
         kernel.procfs.register("/proc/sysprof/metrics", registry.render)
     return registry

@@ -87,6 +87,12 @@ class CostModel:
     # in the CPU accounting rather than free.
     daemon_reconnect: float = 5e-6
     daemon_backoff_probe: float = 0.1e-6
+    # Streaming diagnosis sketches: one log-bucket increment per observed
+    # interaction metric (a log, a ceil, a hash update) and one GPA-side
+    # merge of a whole serialized sketch row into the store.  Charged via
+    # the ledger's "analyzer" category so drill-down overhead is emergent.
+    sketch_update: float = 0.3e-6
+    sketch_merge: float = 2.0e-6
 
     extra: dict = field(default_factory=dict)
 

@@ -1,0 +1,79 @@
+"""The cpu_hog fault: schedule validation and injected CPU contention."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.faults import FaultInjector, FaultSchedule
+from repro.faults.schedule import ScheduleError
+
+
+def test_cpu_hog_schedule_validation():
+    with pytest.raises(ScheduleError, match="duration"):
+        FaultSchedule().cpu_hog(1.0, "a", 0.0)
+    with pytest.raises(ScheduleError, match="utilization"):
+        FaultSchedule().cpu_hog(1.0, "a", 1.0, utilization=0.0)
+    with pytest.raises(ScheduleError, match="utilization"):
+        FaultSchedule().cpu_hog(1.0, "a", 1.0, utilization=1.5)
+    with pytest.raises(ScheduleError, match="target"):
+        FaultSchedule().add(1.0, "cpu_hog", params={"duration": 1.0})
+
+
+def test_cpu_hog_schedule_roundtrip():
+    schedule = FaultSchedule().cpu_hog(
+        2.0, "backend1", 1.5, utilization=0.5, band="user"
+    )
+    rebuilt = FaultSchedule.from_dict(schedule.to_dict())
+    event = rebuilt.events()[0]
+    assert event.kind == "cpu_hog"
+    assert event.target == "backend1"
+    assert event.params == {
+        "duration": 1.5, "utilization": 0.5, "band": "user"
+    }
+
+
+def _hog_run(utilization, band="kernel", duration=1.0):
+    cluster = Cluster(seed=21)
+    cluster.add_node("a")
+    cluster.add_node("b")
+    injector = FaultInjector(cluster)
+    injector.arm(FaultSchedule().cpu_hog(
+        0.5, "a", duration, utilization=utilization, band=band,
+    ))
+    cluster.run(until=3.0)
+    return cluster, injector
+
+
+@pytest.mark.parametrize("utilization", [1.0, 0.5])
+def test_cpu_hog_burns_requested_share(utilization):
+    cluster, injector = _hog_run(utilization)
+    busy = cluster.node("a").kernel.cpu.busy_time
+    assert busy == pytest.approx(1.0 * utilization, rel=0.05)
+    assert cluster.node("b").kernel.cpu.busy_time == 0.0
+    assert injector.summary() == {"cpu_hog": 1}
+    assert injector.hogs_spawned == 1
+    assert injector.log[0]["at"] == pytest.approx(0.5)
+    assert injector.stats() == {"fired": 1, "hogs_spawned": 1}
+
+
+def test_cpu_hog_user_band_burns_user_mode():
+    cluster, _ = _hog_run(1.0, band="user")
+    cpu = cluster.node("a").kernel.cpu
+    assert cpu.busy_time == pytest.approx(1.0, rel=0.05)
+
+
+def test_cpu_hog_registers_fault_stats_with_sysprof():
+    from repro.core import SysProf, SysProfConfig
+
+    cluster = Cluster(seed=21)
+    cluster.add_node("a")
+    cluster.add_node("mgmt")
+    sysprof = SysProf(cluster, SysProfConfig())
+    sysprof.install(monitored=["a"], gpa_node="mgmt")
+    sysprof.start()
+    injector = FaultInjector(cluster, sysprof=sysprof)
+    assert "sysprof.faults" in sysprof.metrics.source_prefixes()
+    injector.arm(FaultSchedule().cpu_hog(0.2, "a", 0.3))
+    cluster.run(until=1.0)
+    collected = sysprof.metrics.collect()
+    assert collected["sysprof.faults.fired"][1] == 1
+    assert collected["sysprof.faults.hogs_spawned"][1] == 1

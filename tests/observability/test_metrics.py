@@ -69,6 +69,44 @@ def test_render_is_sorted_text():
     assert lines == ["a.level gauge 0.5", "b.total counter 2"]
 
 
+def test_all_counters_cumulative_across_restarts():
+    """Registry-wide extension of the ``frames_received`` regression:
+    killing and restarting the daemon and the GPA must not move *any*
+    registered counter backwards — restarts rebuild internal state, the
+    operator-facing totals stay monotone."""
+    from repro.core import SysProfConfig
+
+    config = SysProfConfig(
+        eviction_interval=0.05, syscall_stats=True, latency_sketches=True
+    )
+    cluster, sysprof = build_monitored_pair(config=config)
+    drive_traffic(cluster, sysprof, count=30, run_until=1.5)
+    before = sysprof.metrics.collect()
+    assert any(kind == COUNTER for kind, _ in before.values())
+
+    sysprof.monitor("server").daemon.kill()
+    sysprof.gpa.kill()
+    cluster.run(until=cluster.sim.now + 0.3)
+    sysprof.monitor("server").daemon.restart()
+    sysprof.gpa.restart()
+    # The echo server is still listening; only a fresh client is needed.
+    from tests.core.helpers import request_client
+
+    cluster.node("client").spawn("cli2", request_client, "server", 8080, 30)
+    cluster.run(until=cluster.sim.now + 1.5)
+    sysprof.flush()
+
+    after = sysprof.metrics.collect()
+    regressions = {
+        name: (value, after[name][1])
+        for name, (kind, value) in before.items()
+        if kind == COUNTER and name in after and after[name][1] < value
+    }
+    assert not regressions, (
+        "counters went backwards across restart: {}".format(regressions)
+    )
+
+
 def test_build_registry_covers_installation():
     cluster, sysprof = build_monitored_pair()
     drive_traffic(cluster, sysprof)

@@ -52,6 +52,20 @@ def test_failures_parser_defaults():
     assert args.fault_duration == 5.0
 
 
+def test_diagnose_parser_defaults():
+    args = build_parser().parse_args(["diagnose"])
+    assert args.smoke is False
+    assert args.seed is None
+
+
+def test_diagnose_smoke_command(capsys):
+    assert main(["diagnose", "--smoke"]) == 0
+    out = capsys.readouterr().out
+    assert "online diagnosis closed loop" in out
+    assert "closed loop complete" in out
+    assert "blame" in out
+
+
 def test_failures_command_single_scenario(capsys):
     assert main([
         "failures", "--scenario", "daemon-crash",
