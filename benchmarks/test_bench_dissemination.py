@@ -9,18 +9,18 @@ decoder must beat per-record decoding by at least 1.5x.  Both paths stay
 runtime-selectable (``SysProfConfig(frame_dissemination=...)``), so the
 end-to-end section times a real monitored client/server run per mode.
 
-Results land in ``BENCH_dissemination.json`` at the repo root; see
-docs/performance.md ("Dissemination path") for how to read it.
+Results append to the ``trajectory`` list in ``BENCH_dissemination.json``
+at the repo root; see docs/performance.md ("Dissemination path") for how
+to read it.
 """
 
-import json
 import time
 from pathlib import Path
 
 from repro.core import encoding
 from repro.core.lpa import INTERACTION_FORMAT
 
-from benchmarks.conftest import SMOKE, report
+from benchmarks.conftest import SMOKE, record_run, report
 
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_dissemination.json"
 
@@ -130,9 +130,8 @@ def test_dissemination_frame_speedup():
     encode_speedup = encode_frame_rate / encode_dict_rate
     decode_speedup = decode_frame_rate / decode_record_rate
 
-    if not SMOKE:  # smoke runs never rewrite the recorded numbers
-        payload = {
-            "schema": "sysprof-repro/bench-dissemination/v1",
+    if not SMOKE:  # smoke runs never append to the recorded trajectory
+        record_run(BENCH_PATH, "sysprof-repro/bench-dissemination/v2", {
             "format": fmt.name,
             "record_size_bytes": fmt.record_size,
             "records_per_batch": N_RECORDS,
@@ -152,8 +151,7 @@ def test_dissemination_frame_speedup():
                 "published_per_wall_sec_per_record_mode": round(publish_record_rate),
                 "published_per_wall_sec_frame_mode": round(publish_frame_rate),
             },
-        }
-        BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+        })
 
     report(
         "dissemination throughput (written to BENCH_dissemination.json)",

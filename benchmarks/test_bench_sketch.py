@@ -6,16 +6,18 @@ sorted-list-per-window baseline is twofold: constant memory with cheap
 mergeability, and relative-error-bounded quantiles.  This benchmark
 streams a lognormal latency population through both, then checks
 
-* update throughput (samples/sec into one sketch),
+* update throughput — scalar ``add`` and the vectorized ``update_many``
+  batch path (numpy ``log``/``bincount``; see docs/performance.md) over
+  the same sample population,
 * merge throughput (window sketches folded into one, as the GPA does),
 * p50/p90/p99 relative error vs the exact sorted-list answer, which
   must stay within the sketch's advertised 2% budget.
 
-Results land in ``BENCH_sketch.json`` at the repo root; see
-docs/diagnosis.md ("Sketch accuracy") for how to read it.
+Results append to the ``trajectory`` list in ``BENCH_sketch.json`` at
+the repo root; see docs/diagnosis.md ("Sketch accuracy") for how to
+read it.
 """
 
-import json
 import math
 import random
 import time
@@ -23,7 +25,7 @@ from pathlib import Path
 
 from repro.observability.sketches import QuantileSketch
 
-from benchmarks.conftest import SMOKE, report
+from benchmarks.conftest import SMOKE, record_run, report
 
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_sketch.json"
 
@@ -39,7 +41,12 @@ ERROR_BUDGET = 0.02
 #: Smoke floors are sanity checks, not calibrated bounds — CI runners
 #: are too noisy for tight perf assertions on short runs.
 UPDATE_FLOOR = 50_000 if SMOKE else 200_000
+#: Batch floor applies only when numpy is present (pure-Python fallback
+#: is roughly scalar speed); the vectorized kernel clears it easily.
+BATCH_FLOOR = 100_000 if SMOKE else 3_000_000
 MERGE_FLOOR = 200 if SMOKE else 1_000
+#: Records ingested per ``update_many`` call (an eviction window's worth).
+BATCH_SIZE = 5_000
 
 
 def _samples(n, seed=17):
@@ -64,6 +71,17 @@ def test_sketch_throughput_and_accuracy():
         add(value)
     update_rate = N_SAMPLES / (time.perf_counter() - started)
     assert sketch.count == N_SAMPLES
+
+    # Batch path: the vectorized update_many kernel over the same
+    # population, fed in eviction-window-sized chunks.
+    from repro.observability.sketches import _np
+
+    batch_sketch = QuantileSketch()
+    started = time.perf_counter()
+    for at in range(0, N_SAMPLES, BATCH_SIZE):
+        batch_sketch.update_many(values[at:at + BATCH_SIZE])
+    batch_rate = N_SAMPLES / (time.perf_counter() - started)
+    assert batch_sketch.count == N_SAMPLES
 
     # The exact baseline the sketch is traded against: keep everything,
     # sort once per query.
@@ -93,45 +111,48 @@ def test_sketch_throughput_and_accuracy():
     errors = {}
     for q in QUANTILES:
         exact = _exact_quantile(exact_sorted, q)
-        for label, estimator in (("stream", sketch), ("merged", merged)):
+        for label, estimator in (
+            ("stream", sketch), ("batch", batch_sketch), ("merged", merged)
+        ):
             rel = abs(estimator.quantile(q) - exact) / exact
             errors[(label, q)] = rel
             assert rel <= ERROR_BUDGET, (label, q, rel)
 
     assert update_rate >= UPDATE_FLOOR
     assert best_merge >= MERGE_FLOOR
+    if _np is not None:
+        assert batch_rate >= BATCH_FLOOR
 
-    if not SMOKE:  # smoke runs never rewrite the recorded numbers
-        payload = {
-            "schema": "sysprof-repro/bench-sketch/v1",
+    if not SMOKE:  # smoke runs never append to the recorded trajectory
+        record_run(BENCH_PATH, "sysprof-repro/bench-sketch/v2", {
             "samples": N_SAMPLES,
             "windows": N_WINDOWS,
             "alpha": sketch.alpha,
             "max_buckets": sketch.max_buckets,
+            "batch_size": BATCH_SIZE,
             "throughput": {
-                "updates_per_sec": round(update_rate),
+                "updates_per_sec": round(batch_rate),
+                "scalar_updates_per_sec": round(update_rate),
                 "merges_per_sec": round(best_merge),
                 "exact_sort_samples_per_sec": round(exact_build_rate),
             },
             "relative_error": {
-                "stream": {
-                    "p{}".format(int(q * 100)): round(errors[("stream", q)], 5)
+                label: {
+                    "p{}".format(int(q * 100)): round(errors[(label, q)], 5)
                     for q in QUANTILES
-                },
-                "merged": {
-                    "p{}".format(int(q * 100)): round(errors[("merged", q)], 5)
-                    for q in QUANTILES
-                },
+                }
+                for label in ("stream", "batch", "merged")
             },
-        }
-        BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+        })
 
     report(
         "quantile sketch (written to BENCH_sketch.json)",
         ("metric", "value"),
         [
             ("samples", "{:,}".format(N_SAMPLES)),
-            ("updates/sec", "{:,}".format(round(update_rate))),
+            ("updates/sec (scalar add)", "{:,}".format(round(update_rate))),
+            ("updates/sec (update_many, batches of {})".format(BATCH_SIZE),
+             "{:,}".format(round(batch_rate))),
             ("merges/sec ({} windows)".format(N_WINDOWS),
              "{:,}".format(round(best_merge))),
             ("exact sort samples/sec", "{:,}".format(round(exact_build_rate))),

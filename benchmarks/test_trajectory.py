@@ -1,0 +1,48 @@
+"""``record_run`` appends to BENCH trajectories, never clobbers them.
+
+The BENCH_*.json files are the repo's perf history: every recorded run
+must extend the ``trajectory`` list.  These tests run in smoke mode too
+(they use a temp path, not the real BENCH files) so CI catches a writer
+regressing to overwrite-the-snapshot behavior.
+"""
+
+import json
+
+from benchmarks.conftest import record_run
+
+
+def test_record_run_appends_not_clobbers(tmp_path):
+    path = tmp_path / "BENCH_x.json"
+    record_run(path, "sysprof-repro/bench-x/v2", {"rate": 100})
+    record_run(path, "sysprof-repro/bench-x/v2", {"rate": 200})
+    doc = json.loads(path.read_text())
+    assert doc["schema"] == "sysprof-repro/bench-x/v2"
+    assert [entry["rate"] for entry in doc["trajectory"]] == [100, 200]
+    assert doc["latest"]["rate"] == 200
+    for entry in doc["trajectory"]:
+        assert entry["commit"]
+        assert len(entry["date"]) == 10  # YYYY-MM-DD
+
+
+def test_record_run_migrates_flat_v1_snapshot(tmp_path):
+    path = tmp_path / "BENCH_x.json"
+    path.write_text(json.dumps({
+        "schema": "sysprof-repro/bench-x/v1",
+        "engine": {"events_per_sec": 42},
+    }))
+    record_run(path, "sysprof-repro/bench-x/v2", {"engine": {"events_per_sec": 99}})
+    doc = json.loads(path.read_text())
+    assert len(doc["trajectory"]) == 2
+    first, second = doc["trajectory"]
+    assert first["engine"]["events_per_sec"] == 42  # old snapshot preserved
+    assert first["note"] == "migrated pre-trajectory snapshot"
+    assert second["engine"]["events_per_sec"] == 99
+    assert doc["latest"] is not first
+
+
+def test_record_run_survives_corrupt_file(tmp_path):
+    path = tmp_path / "BENCH_x.json"
+    path.write_text("{not json")
+    record_run(path, "sysprof-repro/bench-x/v2", {"rate": 7})
+    doc = json.loads(path.read_text())
+    assert [entry["rate"] for entry in doc["trajectory"]] == [7]

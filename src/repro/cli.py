@@ -10,6 +10,7 @@ Usage::
     python -m repro diagnose [--smoke] [--seed N]
     python -m repro overhead [--smoke] [--threads N]
     python -m repro trace [--out trace.json] [--smoke]
+    python -m repro profile SCENARIO [--smoke] [--top N] [--trace PATH] [--json PATH]
 
 ``--jobs N`` fans independent sweep points out over N worker processes
 (``--jobs 0`` = one per CPU).  Results are identical to serial runs —
@@ -36,6 +37,7 @@ def _cmd_list(_args):
         ("diagnose", "online SLO diagnosis: CPU hog -> alert -> blame -> drill-down"),
         ("overhead", "per-node CPU attribution: monitoring share vs sampling rate"),
         ("trace", "Chrome trace-event JSON export (Perfetto) of one NFS run"),
+        ("profile", "self-profile the reproduction: cProfile hotspots + events/s"),
     ]
     print(format_table(("command", "reproduces"), rows))
     return 0
@@ -266,6 +268,25 @@ def _cmd_trace(args):
     return 0
 
 
+def _cmd_profile(args):
+    import json
+
+    from repro.profiling import format_report, run_profile, write_chrome_trace
+
+    report = run_profile(args.scenario, smoke=args.smoke, top=args.top)
+    print(format_report(report))
+    if args.trace:
+        count = write_chrome_trace(report, args.trace)
+        print("wrote {} ({} slices) — load in ui.perfetto.dev".format(
+            args.trace, count))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2)
+            fh.write("\n")
+        print("wrote {}".format(args.json))
+    return 0
+
+
 def _jobs(args):
     """Translate the --jobs flag: 1 = serial, 0 = one worker per CPU."""
     jobs = getattr(args, "jobs", 1)
@@ -339,6 +360,22 @@ def build_parser():
     trace.add_argument("--smoke", action="store_true",
                        help="tiny workload (CI-sized run)")
 
+    from repro.profiling import SCENARIOS
+
+    profile = commands.add_parser(
+        "profile", help="self-profile the reproduction under cProfile"
+    )
+    profile.add_argument("scenario", choices=sorted(SCENARIOS),
+                         help="workload to profile")
+    profile.add_argument("--smoke", action="store_true",
+                         help="tiny workload (CI-sized run)")
+    profile.add_argument("--top", type=int, default=15, metavar="N",
+                         help="hotspot table rows (default 15)")
+    profile.add_argument("--trace", default=None, metavar="PATH",
+                         help="also write a Chrome-trace JSON of the hotspots")
+    profile.add_argument("--json", default=None, metavar="PATH",
+                         help="also write the full report as JSON")
+
     return parser
 
 
@@ -354,6 +391,7 @@ def main(argv=None):
         "diagnose": _cmd_diagnose,
         "overhead": _cmd_overhead,
         "trace": _cmd_trace,
+        "profile": _cmd_profile,
     }[args.command]
     return handler(args)
 

@@ -35,6 +35,10 @@ _GAUGE_FIELDS = frozenset((
     "queued", "depth", "offset",
     "eviction_interval", "stale_threshold", "sketches", "sketch_series",
     "series", "rules", "active_alerts", "clients",
+    # simulator engine levels (sysprof.sim.*)
+    "delivery_depth", "lane_depth_interrupt", "lane_depth_normal",
+    "lane_depth_low", "pool_size", "store_size", "store_slots",
+    "store_free_slots", "store_buckets", "store_overflow",
 ))
 
 
@@ -219,6 +223,9 @@ def build_registry(sysprof):
     fabric = getattr(sysprof.cluster, "fabric", None)
     if fabric is not None and hasattr(fabric, "stats"):
         registry.register_source("sysprof.netsim", fabric.stats)
+    sim = getattr(sysprof.cluster, "sim", None)
+    if sim is not None and hasattr(sim, "stats"):
+        registry.register_source("sysprof.sim", sim.stats)
     # Process-global counting components (PR 5 satellite): the GPA query
     # client aggregate and the experiment sweep runner.  Imported lazily —
     # both modules sit above this one in the import graph.

@@ -28,7 +28,15 @@ updates and merges is charged separately (``CostModel.sketch_update`` /
 """
 
 import math
+import os
 from collections import deque
+
+try:
+    if os.environ.get("REPRO_NO_NUMPY"):
+        raise ImportError("numpy disabled via REPRO_NO_NUMPY")
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via REPRO_NO_NUMPY
+    _np = None
 
 #: Metrics the interaction sketch emitter maintains per request class.
 SKETCH_METRICS = ("latency", "qdepth")
@@ -98,6 +106,80 @@ class QuantileSketch:
             self.min_value = value
         if value > self.max_value:
             self.max_value = value
+        return self
+
+    def update_many(self, values):
+        """Record a batch of values (vectorized when numpy is present).
+
+        The numpy kernel computes every bucket index in one
+        ``np.log``/``np.ceil`` pass and aggregates per-bucket counts with
+        ``np.bincount``; without numpy it degrades to a plain
+        :meth:`add` loop.  Counts, ``zero_count``, ``min_value`` and
+        ``max_value`` are exactly what the loop would produce.  Two
+        deliberate deviations keep the kernel fast, and are why the
+        *in-simulation* SketchLPA sticks to scalar :meth:`add` (see
+        docs/performance.md): ``np.log`` may differ from ``math.log`` by
+        one ulp (a value sitting exactly on a bucket boundary can land
+        one bucket over, still within the ``alpha`` guarantee), and
+        ``sum_value`` accumulates in numpy's pairwise order rather than
+        strict stream order.  Batch consumers — benchmarks, the
+        profiling harness, offline analysis — don't care; trace-hash
+        determinism does.
+        """
+        if _np is None:
+            add = self.add
+            for value in values:
+                add(value)
+            return self
+        arr = _np.asarray(values, dtype=_np.float64)
+        if arr.ndim != 1:
+            raise ValueError("update_many expects a 1-d sequence of values")
+        total = arr.size
+        if total == 0:
+            return self
+        positive = arr[arr > MIN_TRACKABLE]
+        zeros = total - positive.size
+        if positive.size:
+            indices = _np.ceil(
+                _np.log(positive) * self._inv_log_gamma
+            ).astype(_np.int64)
+            if self._floor is not None:
+                _np.maximum(indices, self._floor, out=indices)
+            low = int(indices.min())
+            high = int(indices.max())
+            buckets = self.buckets
+            # bincount wants a dense range; fall back to unique counting
+            # when the index span dwarfs the sample count (tiny alpha
+            # over a huge dynamic range).
+            if high - low < 4 * indices.size + 1024:
+                counts = _np.bincount(indices - low)
+                for offset, count in enumerate(counts.tolist()):
+                    if count:
+                        index = low + offset
+                        buckets[index] = buckets.get(index, 0) + count
+            else:
+                uniq, counts = _np.unique(indices, return_counts=True)
+                for index, count in zip(uniq.tolist(), counts.tolist()):
+                    buckets[index] = buckets.get(index, 0) + count
+            while len(buckets) > self.max_buckets:
+                self._collapse_lowest()
+            self.sum_value += float(positive.sum())
+            batch_min = float(positive.min())
+            batch_max = float(positive.max())
+            if zeros:
+                batch_min = 0.0
+                batch_max = max(batch_max, 0.0)
+            if batch_min < self.min_value:
+                self.min_value = batch_min
+            if batch_max > self.max_value:
+                self.max_value = batch_max
+        elif zeros:
+            if 0.0 < self.min_value:
+                self.min_value = 0.0
+            if 0.0 > self.max_value:
+                self.max_value = 0.0
+        self.zero_count += zeros
+        self.count += total
         return self
 
     def merge(self, other):

@@ -48,6 +48,12 @@ class WorkItem:
 class Cpu:
     """A single core; the paper's testbed nodes were uniprocessors."""
 
+    __slots__ = (
+        "sim", "kernel", "costs", "index", "_queues", "_wakeup",
+        "_running", "_last_task", "busy_time", "mode_time",
+        "ctx_switch_count", "cpu_set", "_proc",
+    )
+
     def __init__(self, sim, kernel, costs, index=0):
         self.sim = sim
         self.kernel = kernel
@@ -265,6 +271,8 @@ class CpuSet:
     Aggregated accounting keeps the rest of the kernel (and SysProf's
     node statistics) oblivious to the core count.
     """
+
+    __slots__ = ("sim", "kernel", "costs", "cores", "steals")
 
     def __init__(self, sim, kernel, costs, count):
         if count < 1:

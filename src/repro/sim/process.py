@@ -32,7 +32,7 @@ class Process(Waitable):
         self._gen = generator
         self._target = None
         self._started = False
-        sim._soon(self._start, ())
+        sim._soon1(self._start, None)
 
     def __repr__(self):
         state = "done" if self.triggered else ("waiting" if self._target else "new")
@@ -44,7 +44,7 @@ class Process(Waitable):
 
     # ------------------------------------------------------------------
 
-    def _start(self):
+    def _start(self, _arg=None):
         if self.triggered:  # interrupted before first step
             return
         self._started = True
@@ -93,7 +93,7 @@ class Process(Waitable):
         """
         if self.triggered:
             return
-        self.sim._soon(self._deliver_interrupt, (cause,))
+        self.sim._soon1(self._deliver_interrupt, cause)
 
     def _deliver_interrupt(self, cause):
         if self.triggered:

@@ -4,14 +4,21 @@ The hard constraint on every engine optimization: same seed => byte
 identical GPA traces.  These tests hash the full interaction trace of
 the NFS and RUBiS experiments and require the hash to survive (a) a
 re-run, (b) disabling the same-time fast lane, (c) fanning the sweep
-out over worker processes, and (d) switching between frame and
-per-record dissemination (both charge identical simulated CPU and ship
-byte-equal record images, so monitoring timing cannot diverge).
+out over worker processes, (d) switching between frame and per-record
+dissemination (both charge identical simulated CPU and ship byte-equal
+record images, so monitoring timing cannot diverge), (e) swapping the
+calendar-queue event store for the binary-heap oracle (identical
+``(time, priority, seq)`` dispatch order by construction), and
+(f) removing numpy, which disables the vectorized frame-decode kernel
+(``frombuffer`` reinterprets the same bytes the struct path unpacks, so
+the decoded rows are bit-identical either way).
 """
 
 import dataclasses
 
 import pytest
+
+from repro.core import encoding
 
 from repro.experiments import run_points
 from repro.experiments.nfs_storage import (
@@ -61,6 +68,27 @@ def test_nfs_trace_hash_identical_per_record_mode(nfs_baseline):
     assert run_nfs_experiment(1, per_record).trace_hash == nfs_baseline[0]
 
 
+def test_nfs_trace_hash_identical_with_heap_store(nfs_baseline, monkeypatch):
+    monkeypatch.setattr(engine_mod, "DEFAULT_EVENT_STORE", "heap")
+    heap = run_nfs_experiment(1, NFS_CONFIG).trace_hash
+    assert heap == nfs_baseline[0]
+
+
+def test_nfs_trace_hash_identical_heap_no_fast_lane(nfs_baseline, monkeypatch):
+    """The full pre-optimization engine: heap store and no lanes."""
+    monkeypatch.setattr(engine_mod, "DEFAULT_EVENT_STORE", "heap")
+    monkeypatch.setattr(engine_mod, "DEFAULT_FAST_LANE", False)
+    oracle = run_nfs_experiment(1, NFS_CONFIG).trace_hash
+    assert oracle == nfs_baseline[0]
+
+
+def test_nfs_trace_hash_identical_without_numpy(nfs_baseline, monkeypatch):
+    """Pure-Python frame decode must reproduce the numpy kernel's trace."""
+    monkeypatch.setattr(encoding, "_np", None)
+    pure = run_nfs_experiment(1, NFS_CONFIG).trace_hash
+    assert pure == nfs_baseline[0]
+
+
 def test_nfs_trace_hash_identical_under_jobs(nfs_baseline):
     parallel = run_thread_sweep(NFS_CONFIG, jobs=4)
     assert [result.trace_hash for result in parallel] == nfs_baseline
@@ -85,6 +113,18 @@ def test_rubis_trace_hash_identical_without_fast_lane(rubis_baseline, monkeypatc
     monkeypatch.setattr(engine_mod, "DEFAULT_FAST_LANE", False)
     slow = run_rubis_experiment("dwcs", RUBIS_CONFIG).trace_hash
     assert slow == rubis_baseline
+
+
+def test_rubis_trace_hash_identical_with_heap_store(rubis_baseline, monkeypatch):
+    monkeypatch.setattr(engine_mod, "DEFAULT_EVENT_STORE", "heap")
+    heap = run_rubis_experiment("dwcs", RUBIS_CONFIG).trace_hash
+    assert heap == rubis_baseline
+
+
+def test_rubis_trace_hash_identical_without_numpy(rubis_baseline, monkeypatch):
+    monkeypatch.setattr(encoding, "_np", None)
+    pure = run_rubis_experiment("dwcs", RUBIS_CONFIG).trace_hash
+    assert pure == rubis_baseline
 
 
 def test_rubis_trace_hash_identical_per_record_mode(rubis_baseline):

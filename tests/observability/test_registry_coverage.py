@@ -33,14 +33,17 @@ REGISTERED = {
     "DiagnosisEngine",            # sysprof.diagnosis (self-registers)
     "FaultInjector",              # sysprof.faults (self-registers)
     "repro.experiments.runner",   # sysprof.runner (module-level stats)
+    "Simulator",                  # sysprof.sim (engine counters)
 }
 
 # Surfaced through a registered parent's stats() dict, not as their own
 # prefix — their numbers are already in the exposition text.
 INDIRECT = {
-    "DoubleBuffer",   # lpa.stats() nests buffer counters
-    "FrameDecoder",   # gpa.stats() folds frames/records/filter counters
-    "SketchStore",    # gpa.stats() exposes sketch_rows / sketch_series
+    "DoubleBuffer",    # lpa.stats() nests buffer counters
+    "FrameDecoder",    # gpa.stats() folds frames/records/filter counters
+    "SketchStore",     # gpa.stats() exposes sketch_rows / sketch_series
+    "CalendarQueue",   # Simulator.stats() folds store_* counters
+    "HeapStore",       # Simulator.stats() folds store_* counters
 }
 
 # Not monitoring-plane components: application/workload objects whose
@@ -108,6 +111,7 @@ def test_registered_components_have_live_prefixes():
         "sysprof.lpa.server.sketch-lpa",
         "sysprof.gpa.mgmt",
         "sysprof.netsim",
+        "sysprof.sim",
         "sysprof.diagnosis",
         "sysprof.faults",
         "sysprof.query",

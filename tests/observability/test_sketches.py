@@ -162,3 +162,82 @@ def test_store_clear_keeps_cumulative_counter():
     store.clear()
     assert store.series == {}
     assert store.rows_ingested == 3
+
+
+# ----------------------------------------------------------------------
+# update_many: the batch kernel (numpy or fallback loop)
+# ----------------------------------------------------------------------
+
+def test_update_many_matches_scalar_adds_exactly_for_counts():
+    import random
+
+    rng = random.Random(17)
+    values = [rng.lognormvariate(0.0, 2.0) for _ in range(5000)]
+    values += [0.0, -3.0, 1e-12]  # zero-bucket cases
+    batch = QuantileSketch(alpha=0.02)
+    batch.update_many(values)
+    scalar = QuantileSketch(alpha=0.02)
+    for value in values:
+        scalar.add(value)
+    assert batch.count == scalar.count
+    assert batch.zero_count == scalar.zero_count
+    assert batch.min_value == scalar.min_value
+    assert batch.max_value == scalar.max_value
+    assert abs(batch.sum_value - scalar.sum_value) <= 1e-6 * scalar.sum_value
+    # Bucket indices may differ by one ulp-induced slot; quantiles must
+    # agree within the sketch's own accuracy guarantee.
+    for q in (0.5, 0.9, 0.99):
+        expected = scalar.quantile(q)
+        got = batch.quantile(q)
+        assert abs(got - expected) <= 2 * 0.02 * expected + 1e-12
+
+
+def test_update_many_python_fallback_equivalent(monkeypatch):
+    from repro.observability import sketches as sketches_mod
+
+    values = [0.5, 2.0, 2.0, 8.0, 0.0, 40.0]
+    vectorized = QuantileSketch()
+    vectorized.update_many(values)
+    monkeypatch.setattr(sketches_mod, "_np", None)
+    fallback = QuantileSketch()
+    fallback.update_many(values)
+    assert fallback.count == vectorized.count
+    assert fallback.zero_count == vectorized.zero_count
+    assert fallback.min_value == vectorized.min_value
+    assert fallback.max_value == vectorized.max_value
+    for q in (0.5, 0.99):
+        assert abs(fallback.quantile(q) - vectorized.quantile(q)) <= \
+            2 * 0.01 * fallback.quantile(q) + 1e-12
+
+
+def test_update_many_empty_and_zero_only():
+    sketch = QuantileSketch()
+    sketch.update_many([])
+    assert sketch.count == 0
+    sketch.update_many([0.0, -1.0])
+    assert sketch.count == 2
+    assert sketch.zero_count == 2
+    assert sketch.min_value == 0.0
+    assert sketch.max_value == 0.0
+    assert sketch.quantile(0.5) == 0.0
+
+
+def test_update_many_respects_collapse_bound():
+    sketch = QuantileSketch(alpha=0.001, max_buckets=8)
+    sketch.update_many([1.5 ** i for i in range(64)])
+    assert len(sketch.buckets) <= 8
+    assert sketch.collapses > 0
+    assert sketch.count == 64
+
+
+def test_update_many_rejects_matrix_input():
+    from repro.observability import sketches as sketches_mod
+
+    if sketches_mod._np is None:
+        import pytest
+
+        pytest.skip("numpy unavailable")
+    import pytest
+
+    with pytest.raises(ValueError):
+        QuantileSketch().update_many([[1.0, 2.0], [3.0, 4.0]])

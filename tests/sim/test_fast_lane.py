@@ -113,25 +113,60 @@ def test_step_drains_lanes_and_heap_in_order(sim):
     assert not sim.step()
 
 
-def test_callback_entry_lists_are_pooled(sim):
-    """Handle-less callback deliveries recycle their entry lists."""
+def test_lane_entry_lists_are_pooled(sim):
+    """Zero-delay lane entries recycle their entry lists after dispatch."""
     done = []
     for _ in range(50):
-        waitable = Waitable(sim)
-        waitable.add_callback(lambda w: done.append(w))
-        waitable.succeed()
+        sim.call_soon(done.append, "x")
     sim.run()
     assert len(done) == 50
     assert sim._pool  # entries went back to the pool after dispatch
     before = len(sim._pool)
+    sim.call_soon(done.append, "y")
+    sim.run()
+    assert len(sim._pool) == before  # reused, not grown
+    stats = sim.stats()
+    assert stats["pool_hits"] > 0
+
+
+def test_waitable_deliveries_use_tuple_lane(sim):
+    """Handle-less callback deliveries ride the delivery lane, not the pool."""
+    done = []
     waitable = Waitable(sim)
     waitable.add_callback(lambda w: done.append(w))
     waitable.succeed()
+    assert len(sim._dq) == 1
     sim.run()
-    assert len(sim._pool) == before  # reused, not grown
+    assert done == [waitable]
+    assert not sim._dq
 
 
-def test_cancelled_heap_entries_purged_lazily(sim):
+def test_stale_handle_cannot_cancel_recycled_entry(sim):
+    """Regression: a Handle kept past dispatch must not touch the pooled
+    entry list once it has been re-stamped for a different event."""
+    fired = []
+    stale = sim.call_soon(fired.append, "first")
+    sim.run()
+    assert fired == ["first"]
+    # The entry list is back in the pool; the next call_soon reuses it.
+    fresh = sim.call_soon(fired.append, "second")
+    assert fresh._entry is stale._entry  # same recycled list object
+    stale.cancel()  # must be a no-op: seq stamp no longer matches
+    assert not stale.cancelled
+    sim.run()
+    assert fired == ["first", "second"]
+    # ``cancelled`` reads never report on someone else's event: cancelling
+    # the fresh entry (recycled again by now) leaves the stale handle alone.
+    third = sim.call_soon(fired.append, "third")
+    third.cancel()
+    assert third.cancelled
+    assert not stale.cancelled and not fresh.cancelled
+    sim.run()
+    assert fired == ["first", "second"]
+
+
+def test_cancelled_heap_entries_purged_lazily():
+    sim = Simulator(event_store="heap")
     handles = [sim.schedule(10.0 + i, lambda: None) for i in range(300)]
     fired = []
     sim.schedule(500.0, fired.append, "live")
@@ -139,7 +174,8 @@ def test_cancelled_heap_entries_purged_lazily(sim):
         handle.cancel()
     # The purge threshold has been crossed: the heap must have shed the
     # bulk of the cancelled entries without waiting for a run().
-    assert len(sim._heap) <= 300 - 150
+    assert len(sim._store.heap) <= 300 - 150
+    assert sim.stats()["store_purges"] >= 1
     sim.run()
     assert fired == ["live"]
 
@@ -173,3 +209,15 @@ def test_default_fast_lane_flag_controls_new_simulators(monkeypatch):
     monkeypatch.setattr(engine_mod, "DEFAULT_FAST_LANE", True)
     assert Simulator()._fast
     assert not Simulator(fast_lane=False)._fast
+
+
+def test_default_event_store_flag_controls_new_simulators(monkeypatch):
+    monkeypatch.setattr(engine_mod, "DEFAULT_EVENT_STORE", "heap")
+    assert isinstance(Simulator()._store, engine_mod.HeapStore)
+    monkeypatch.setattr(engine_mod, "DEFAULT_EVENT_STORE", "calendar")
+    assert isinstance(Simulator()._store, engine_mod.CalendarQueue)
+    assert isinstance(
+        Simulator(event_store="heap")._store, engine_mod.HeapStore
+    )
+    with pytest.raises(SimError):
+        Simulator(event_store="splay")
