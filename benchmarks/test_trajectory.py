@@ -46,3 +46,26 @@ def test_record_run_survives_corrupt_file(tmp_path):
     record_run(path, "sysprof-repro/bench-x/v2", {"rate": 7})
     doc = json.loads(path.read_text())
     assert [entry["rate"] for entry in doc["trajectory"]] == [7]
+
+
+def test_federation_cli_writer_appends_same_layout(tmp_path):
+    """The federation CLI writes BENCH_federation.json through its own
+    writer (src/ cannot import benchmarks/); it must append with the
+    exact trajectory layout record_run produces."""
+    from repro.experiments.federation import BENCH_SCHEMA, record_trajectory
+
+    path = tmp_path / "BENCH_federation.json"
+    record_trajectory(path, BENCH_SCHEMA, {"points": [1]})
+    record_trajectory(path, BENCH_SCHEMA, {"points": [2]})
+    doc = json.loads(path.read_text())
+    assert doc["schema"] == BENCH_SCHEMA
+    assert [entry["points"] for entry in doc["trajectory"]] == [[1], [2]]
+    assert doc["latest"]["points"] == [2]
+    for entry in doc["trajectory"]:
+        assert entry["commit"]
+        assert len(entry["date"]) == 10
+    # Corrupt files are survivable, like record_run.
+    path.write_text("{not json")
+    record_trajectory(path, BENCH_SCHEMA, {"points": [3]})
+    doc = json.loads(path.read_text())
+    assert [entry["points"] for entry in doc["trajectory"]] == [[3]]

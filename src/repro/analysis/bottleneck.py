@@ -61,14 +61,59 @@ class BottleneckReport:
         return "\n".join(lines)
 
 
+def _summary_diagnosis(gpa, node, since=None):
+    """Class-summary fallback for tiers without raw interaction records.
+
+    A federated root only sees condensed ``sysprof.class_summary`` rows
+    for zone pseudo-nodes, so residency composition is reconstructed from
+    count-weighted window means.  The summary format carries no io-blocked
+    component; kernel CPU is recovered as kernel_time − kernel_wait.
+    """
+    rows = [
+        record for record in gpa.class_summaries
+        if record["node"] == node
+        and (since is None or record["window_end"] >= since)
+    ]
+    total = sum(record["count"] for record in rows)
+    if not total:
+        return None
+
+    def wmean(field_name):
+        return sum(r[field_name] * r["count"] for r in rows) / total
+
+    wait = wmean("mean_kernel_wait")
+    components = {
+        "kernel-wait": wait,
+        "kernel-cpu": max(0.0, wmean("mean_kernel_time") - wait),
+        "user": wmean("mean_user_time"),
+        "io-blocked": 0.0,
+    }
+    dominant = max(components, key=lambda key: components[key])
+    return NodeDiagnosis(
+        node=node,
+        interaction_count=total,
+        mean_total_ms=wmean("mean_latency") * 1e3,
+        mean_kernel_wait_ms=components["kernel-wait"] * 1e3,
+        mean_kernel_cpu_ms=components["kernel-cpu"] * 1e3,
+        mean_user_ms=components["user"] * 1e3,
+        mean_io_blocked_ms=0.0,
+        dominant_component=dominant,
+    )
+
+
 def diagnose_node(gpa, node, since=None):
     """Summarize interaction residency composition at one node.
 
     ``since`` restricts to interactions starting at or after that
     reference time — the online diagnosis engine's recent-window blame.
+    Falls back to count-weighted class summaries when the tier holds no
+    raw interaction records for the node (federated pseudo-nodes).
     """
     records = gpa.query_interactions(node=node, since=since)
     if not records:
+        fallback = _summary_diagnosis(gpa, node, since=since)
+        if fallback is not None:
+            return fallback
         return NodeDiagnosis(node, 0, 0.0, 0.0, 0.0, 0.0, 0.0, "no-data")
     components = {
         "kernel-wait": mean_field(records, "kernel_wait"),

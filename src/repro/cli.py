@@ -8,6 +8,7 @@ Usage::
     python -m repro rubis [--scheduler dwcs|radwcs|both] [--duration 20] [--jobs N]
     python -m repro failures [--scenario daemon-crash|partition|both] [--seed N]
     python -m repro diagnose [--smoke] [--seed N]
+    python -m repro federation [--nodes N] [--zones Z] [--smoke]
     python -m repro overhead [--smoke] [--threads N]
     python -m repro trace [--out trace.json] [--smoke]
     python -m repro profile SCENARIO [--smoke] [--top N] [--trace PATH] [--json PATH]
@@ -35,6 +36,7 @@ def _cmd_list(_args):
         ("rubis", "Figures 6 & 7: DWCS vs resource-aware DWCS"),
         ("failures", "§3.2 failure detection: scripted outages + stale_nodes"),
         ("diagnose", "online SLO diagnosis: CPU hog -> alert -> blame -> drill-down"),
+        ("federation", "zone GPAs: root ingress/CPU vs node count, flat vs federated"),
         ("overhead", "per-node CPU attribution: monitoring share vs sampling rate"),
         ("trace", "Chrome trace-event JSON export (Perfetto) of one NFS run"),
         ("profile", "self-profile the reproduction: cProfile hotspots + events/s"),
@@ -287,6 +289,50 @@ def _cmd_profile(args):
     return 0
 
 
+def _cmd_federation(args):
+    from repro.experiments.federation import (
+        BENCH_PATH,
+        BENCH_SCHEMA,
+        FederationConfig,
+        record_trajectory,
+        run_federation_sweep,
+        smoke_config,
+        sweep_payload,
+    )
+
+    if args.smoke:
+        base = smoke_config(nodes=args.nodes or 16, zones=args.zones or 2)
+        counts = (base.nodes,)
+    else:
+        base = FederationConfig(zones=args.zones)
+        counts = (
+            (args.nodes,) if args.nodes else (16, 64, 256)
+        )
+    sweep = run_federation_sweep(node_counts=counts, base_config=base)
+    print(format_table(
+        ("nodes", "mode", "zones", "root B/s", "root CPU share", "stale p95"),
+        [point.row() for point in sweep["points"]],
+        title="federation scaling: root load vs cluster size",
+    ))
+    fed = [p for p in sweep["points"] if p.federated]
+    flat = [p for p in sweep["points"] if not p.federated]
+    if len(fed) >= 2:
+        node_growth = fed[-1].nodes / fed[0].nodes
+        byte_growth = fed[-1].root_bytes_per_s / max(fed[0].root_bytes_per_s, 1e-9)
+        print("\nfederated root ingress grew {:.1f}x across a {:.0f}x node "
+              "increase ({})".format(
+                  byte_growth, node_growth,
+                  "sublinear" if byte_growth < node_growth else "NOT sublinear"))
+    if flat and fed:
+        print("at {} nodes, federation cuts root ingress {:.0f}x".format(
+            flat[-1].nodes,
+            flat[-1].root_bytes_per_s / max(fed[-1].root_bytes_per_s, 1e-9)))
+    if not args.no_record:
+        record_trajectory(BENCH_PATH, BENCH_SCHEMA, sweep_payload(sweep))
+        print("appended trajectory entry to {}".format(BENCH_PATH))
+    return 0
+
+
 def _jobs(args):
     """Translate the --jobs flag: 1 = serial, 0 = one worker per CPU."""
     jobs = getattr(args, "jobs", 1)
@@ -360,6 +406,18 @@ def build_parser():
     trace.add_argument("--smoke", action="store_true",
                        help="tiny workload (CI-sized run)")
 
+    federation = commands.add_parser(
+        "federation", help="federated aggregation tree: root load vs scale"
+    )
+    federation.add_argument("--nodes", type=int, default=None, metavar="N",
+                            help="monitored node count (default: 16,64,256 sweep)")
+    federation.add_argument("--zones", type=int, default=None, metavar="Z",
+                            help="zone count (default: ~sqrt(nodes))")
+    federation.add_argument("--smoke", action="store_true",
+                            help="tiny 16-node/2-zone run (CI-sized)")
+    federation.add_argument("--no-record", action="store_true",
+                            help="skip appending to BENCH_federation.json")
+
     from repro.profiling import SCENARIOS
 
     profile = commands.add_parser(
@@ -389,6 +447,7 @@ def main(argv=None):
         "rubis": _cmd_rubis,
         "failures": _cmd_failures,
         "diagnose": _cmd_diagnose,
+        "federation": _cmd_federation,
         "overhead": _cmd_overhead,
         "trace": _cmd_trace,
         "profile": _cmd_profile,

@@ -7,6 +7,12 @@ tolerate when correlating cross-node timestamps."""
 from repro.cluster.clock import ClockTable, NodeClock
 from repro.cluster.node import Cluster, Node
 from repro.cluster.ntp import NTP_PORT, NtpSync, synchronize
+from repro.cluster.topology import (
+    RackBuilder,
+    RackSpec,
+    RackTopology,
+    build_spine_leaf,
+)
 
 __all__ = [
     "ClockTable",
@@ -15,5 +21,9 @@ __all__ = [
     "Node",
     "NodeClock",
     "NtpSync",
+    "RackBuilder",
+    "RackSpec",
+    "RackTopology",
+    "build_spine_leaf",
     "synchronize",
 ]

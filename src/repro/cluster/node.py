@@ -13,7 +13,7 @@ class Node:
     """One machine: kernel + CPU + NIC (+ optional disk) + local clock."""
 
     def __init__(self, cluster, name, costs=None, clock=None, with_disk=False,
-                 cache_pages=8192, ip=None, cpus=1):
+                 cache_pages=8192, ip=None, cpus=1, switch=None):
         self.cluster = cluster
         self.name = name
         self.costs = costs or cluster.costs
@@ -22,7 +22,7 @@ class Node:
             cluster.sim, name, self.costs, clock=self.clock, cpus=cpus
         )
         self.kernel.cluster = cluster
-        nic = cluster.fabric.create_nic(ip=ip)
+        nic = cluster.fabric.create_nic(ip=ip, switch=switch)
         self.kernel.attach_nic(nic)
         if with_disk:
             self.kernel.attach_disk(cache_pages=cache_pages)
@@ -84,6 +84,19 @@ class Cluster:
         self._by_ip[node.ip] = node
         return node
 
+    def add_nodes(self, names, **kwargs):
+        """Batch-create many identical nodes (shared kwargs, one loop).
+
+        Returns the new nodes in input order.  This is the many-node
+        construction path: one shared costs/config object, no per-node
+        keyword re-validation.
+        """
+        nodes = []
+        add = self.add_node
+        for name in names:
+            nodes.append(add(name, **kwargs))
+        return nodes
+
     def node(self, name):
         return self.nodes[name]
 
@@ -97,8 +110,15 @@ class Cluster:
     def node_for_ip(self, ip):
         return self._by_ip[ip]
 
-    def one_way_latency(self):
-        """Uplink + switch forwarding + downlink."""
+    def one_way_latency(self, src_ip=None, dst_ip=None):
+        """Uplink + switch forwarding + downlink.
+
+        With endpoint IPs the fabric computes the hop-aware path latency
+        (identical to the flat constant when both share a switch); without
+        them, the flat-LAN constant is returned for back-compat.
+        """
+        if src_ip is not None and dst_ip is not None:
+            return self.fabric.path_latency(src_ip, dst_ip)
         return 2.0 * self.fabric.latency + self.fabric.switch.forward_delay
 
     def run(self, until=None):

@@ -24,7 +24,15 @@ from repro.core.encoding import (
     encode_text,
 )
 from repro.core.events import MonEvent
+from repro.core.federation import (
+    FederationTree,
+    ZoneGpa,
+    ZoneSpec,
+    zone_channel_prefix,
+)
 from repro.core.gpa import CausalPath, GlobalPerformanceAnalyzer
+from repro.core.publisher import ChannelPublisher
+from repro.core.tier import AnalyzerTier, TierStore
 from repro.core.interactions import (
     InteractionRecord,
     InteractionTracker,
@@ -48,12 +56,15 @@ from repro.core.lpa import (
 from repro.core.toolkit import NodeMonitor, SysProf, SysProfConfig
 
 __all__ = [
+    "AnalyzerTier",
     "ArmTracker",
     "CausalPath",
     "ChannelHub",
+    "ChannelPublisher",
     "Controller",
     "CustomAnalyzer",
     "DisseminationDaemon",
+    "FederationTree",
     "DoubleBuffer",
     "ECodeError",
     "ECodeProgram",
@@ -78,7 +89,11 @@ __all__ = [
     "SysProf",
     "SyscallLPA",
     "SysProfConfig",
+    "TierStore",
+    "ZoneGpa",
+    "ZoneSpec",
     "all_of",
+    "zone_channel_prefix",
     "decode_frame",
     "decode_records",
     "encode_frame",

@@ -30,20 +30,10 @@ to zero), so same-seed traces are bit-identical across modes.
 """
 
 from repro.core import encoding
+from repro.core.publisher import ChannelPublisher
 from repro.observability import tracer as _trace
 from repro.ossim.task import BAND_KERNEL
 from repro.sim.resources import Store
-
-
-class _EndpointBackoff:
-    """Retry state for one unreachable subscriber endpoint."""
-
-    __slots__ = ("failures", "next_attempt_at", "abandoned")
-
-    def __init__(self):
-        self.failures = 0
-        self.next_attempt_at = 0.0
-        self.abandoned = False
 
 
 class DisseminationDaemon:
@@ -59,7 +49,6 @@ class DisseminationDaemon:
         self.registry = registry or encoding.FormatRegistry()
         self.eviction_interval = eviction_interval
         self.name = name
-        self.channel_prefix = channel_prefix
         self.data_filter = data_filter  # optional record-level filter fn
         self.text_encoding = text_encoding  # ablation: ship repr() text
         self.affinity = affinity  # pin to a dedicated analysis core (SMP)
@@ -67,36 +56,98 @@ class DisseminationDaemon:
         self.lpas = []
         self._by_buffer = {}
         self._notifications = Store(node.sim)
-        self._sockets = {}  # (node_name, port) -> socket
-        # endpoint -> (socket, {format names sent on that socket}).  Keyed
-        # by socket *identity*: a reconnected endpoint gets a fresh set,
-        # so the new peer connection re-learns every format descriptor.
-        self._formats_sent = {}
-        # Per-endpoint reconnect pacing: exponential backoff with
-        # deterministic jitter and a retry budget.  The jitter RNG is a
-        # named substream created lazily and drawn ONLY on failures, so
-        # fault-free runs never touch it (same-seed digests unchanged).
-        self.reconnect_backoff_base = reconnect_backoff_base
-        self.reconnect_backoff_cap = reconnect_backoff_cap
-        self.reconnect_backoff_jitter = reconnect_backoff_jitter
-        self.reconnect_max_retries = reconnect_max_retries
-        self._backoff = {}  # endpoint -> _EndpointBackoff
-        self._backoff_rng = None
-        self._connected_before = set()  # endpoints that connected at least once
+        # Endpoint sockets, per-endpoint backoff, and format-descriptor
+        # tracking all live in the publisher (shared with federation
+        # tiers); the jitter RNG substream keeps its historical name so
+        # same-seed fault traces are unchanged.
+        self.publisher = ChannelPublisher(
+            node, hub, channel_prefix=channel_prefix,
+            rng_label="sysprofd.backoff.{}".format(node.name),
+            reconnect_backoff_base=reconnect_backoff_base,
+            reconnect_backoff_cap=reconnect_backoff_cap,
+            reconnect_backoff_jitter=reconnect_backoff_jitter,
+            reconnect_max_retries=reconnect_max_retries,
+            pid_fn=lambda: self.task.pid if self.task else 0,
+        )
         self._pending_get = None  # the _run loop's parked notification get()
         self.task = None
         self.records_published = 0
         self.records_filtered = 0
-        self.bytes_published = 0
-        self.publishes = 0
-        self.frames_published = 0
-        self.format_sends = 0
-        self.send_errors = 0
-        self.connect_attempts = 0
-        self.reconnects = 0
-        self.backoff_skips = 0
-        self.endpoints_abandoned = 0
         self._stopped = False
+
+    # -- publisher delegation (tests and /proc read these off the daemon) --
+
+    @property
+    def channel_prefix(self):
+        return self.publisher.channel_prefix
+
+    @channel_prefix.setter
+    def channel_prefix(self, value):
+        self.publisher.channel_prefix = value
+
+    @property
+    def _sockets(self):
+        return self.publisher._sockets
+
+    @property
+    def _formats_sent(self):
+        return self.publisher._formats_sent
+
+    @property
+    def _backoff(self):
+        return self.publisher._backoff
+
+    @property
+    def bytes_published(self):
+        return self.publisher.bytes_published
+
+    @property
+    def publishes(self):
+        return self.publisher.publishes
+
+    @property
+    def frames_published(self):
+        return self.publisher.frames_published
+
+    @property
+    def format_sends(self):
+        return self.publisher.format_sends
+
+    @property
+    def send_errors(self):
+        return self.publisher.send_errors
+
+    @property
+    def connect_attempts(self):
+        return self.publisher.connect_attempts
+
+    @property
+    def reconnects(self):
+        return self.publisher.reconnects
+
+    @property
+    def backoff_skips(self):
+        return self.publisher.backoff_skips
+
+    @property
+    def endpoints_abandoned(self):
+        return self.publisher.endpoints_abandoned
+
+    @property
+    def reconnect_backoff_base(self):
+        return self.publisher.reconnect_backoff_base
+
+    @property
+    def reconnect_backoff_cap(self):
+        return self.publisher.reconnect_backoff_cap
+
+    @property
+    def reconnect_backoff_jitter(self):
+        return self.publisher.reconnect_backoff_jitter
+
+    @property
+    def reconnect_max_retries(self):
+        return self.publisher.reconnect_max_retries
 
     # ------------------------------------------------------------------
 
@@ -151,14 +202,9 @@ class DisseminationDaemon:
         if self._pending_get is not None:
             self._notifications.cancel_get(self._pending_get)
             self._pending_get = None
-        for sock in self._sockets.values():
-            if sock is not None:
-                sock.reset()
-        self._sockets.clear()
-        self._formats_sent.clear()
         # A fresh process has no memory of past failures: abandoned
         # endpoints get a clean retry budget.
-        self._backoff.clear()
+        self.publisher.forget_all()
 
     def restart(self):
         """Respawn the daemon task after :meth:`kill`."""
@@ -167,19 +213,18 @@ class DisseminationDaemon:
     def reset_endpoint(self, endpoint):
         """Forget a subscriber's socket (peer restart / connection loss).
 
-        The next publish reconnects; the socket-identity check in
-        :meth:`_ensure_format_sent` then re-sends every format descriptor
-        on the fresh connection.  The per-endpoint format set is purged
-        here too — before, the stale ``(dead socket, formats)`` tuple
-        lingered in ``_formats_sent`` forever, growing by one entry per
-        subscriber restart.
+        The next publish reconnects; the socket-identity check in the
+        publisher then re-sends every format descriptor on the fresh
+        connection.  The per-endpoint format set is purged here too —
+        before, the stale ``(dead socket, formats)`` tuple lingered in
+        ``_formats_sent`` forever, growing by one entry per subscriber
+        restart.
         """
-        self._sockets.pop(endpoint, None)
-        self._formats_sent.pop(endpoint, None)
+        self.publisher.reset_endpoint(endpoint)
 
     def revive_endpoint(self, endpoint):
         """Clear an endpoint's backoff/abandoned state (subscriber is back)."""
-        self._backoff.pop(endpoint, None)
+        self.publisher.revive_endpoint(endpoint)
 
     # ------------------------------------------------------------------
 
@@ -331,110 +376,7 @@ class DisseminationDaemon:
     # ------------------------------------------------------------------
 
     def _send(self, ctx, fmt, blob, kind, text=False):
-        channel = self.channel_prefix + fmt.name
-        for endpoint in self.hub.subscribers(channel):
-            sock = yield from self._endpoint_socket(ctx, endpoint)
-            if sock is None:
-                continue
-            try:
-                if not text:
-                    yield from self._ensure_format_sent(ctx, sock, endpoint, fmt)
-                yield from ctx.send_message(
-                    sock, len(blob), kind=kind,
-                    meta={"blob": blob, "channel": channel, "text": text},
-                )
-            except Exception:
-                # Peer gone mid-publish: drop the socket so a later
-                # wakeup reconnects (and re-sends descriptors), but only
-                # after the endpoint's backoff window passes.
-                self.send_errors += 1
-                self.reset_endpoint(endpoint)
-                yield from ctx.kcompute(self.node.kernel.costs.daemon_reconnect)
-                self._note_endpoint_failure(endpoint)
-                continue
-            self.bytes_published += len(blob)
-            self.publishes += 1
-            if kind == "sysprof-frame":
-                self.frames_published += 1
-            if _trace.enabled:
-                _trace.active().publish(
-                    self.node.kernel.name, self.task.pid if self.task else 0,
-                    channel, len(blob), kind, ctx.now,
-                )
-
-    def _ensure_format_sent(self, ctx, sock, endpoint, fmt):
-        sent = self._formats_sent.get(endpoint)
-        if sent is None or sent[0] is not sock:
-            # New or replaced connection: the peer's decoder state died
-            # with the old socket, so start a fresh descriptor set.
-            sent = (sock, set())
-            self._formats_sent[endpoint] = sent
-        if fmt.name in sent[1]:
-            return
-        descriptor = fmt.describe()
-        yield from ctx.send_message(
-            sock, len(descriptor), kind="sysprof-fmt", meta={"blob": descriptor},
-        )
-        sent[1].add(fmt.name)
-        self.format_sends += 1
-
-    def _endpoint_socket(self, ctx, endpoint):
-        sock = self._sockets.get(endpoint)
-        if sock is not None:
-            return sock
-        costs = self.node.kernel.costs
-        state = self._backoff.get(endpoint)
-        if state is not None:
-            if state.abandoned:
-                return None
-            # Cheap clock probe: is this endpoint's window open yet?
-            yield from ctx.kcompute(costs.daemon_backoff_probe)
-            if ctx.now < state.next_attempt_at:
-                self.backoff_skips += 1
-                return None
-        node_name, port = endpoint
-        self.connect_attempts += 1
-        try:
-            sock = yield from ctx.connect(node_name, port)
-        except Exception:
-            yield from ctx.kcompute(costs.daemon_reconnect)
-            self._note_endpoint_failure(endpoint)
-            return None
-        self._sockets[endpoint] = sock
-        self._backoff.pop(endpoint, None)
-        if endpoint in self._connected_before:
-            self.reconnects += 1
-        self._connected_before.add(endpoint)
-        return sock
-
-    def _note_endpoint_failure(self, endpoint):
-        """Advance an endpoint's backoff after a failed connect or send."""
-        state = self._backoff.get(endpoint)
-        if state is None:
-            state = self._backoff[endpoint] = _EndpointBackoff()
-        state.failures += 1
-        if state.failures > self.reconnect_max_retries:
-            if not state.abandoned:
-                state.abandoned = True
-                self.endpoints_abandoned += 1
-            return state
-        delay = min(
-            self.reconnect_backoff_cap,
-            self.reconnect_backoff_base * (2.0 ** (state.failures - 1)),
-        )
-        if self.reconnect_backoff_jitter:
-            delay *= 1.0 + self.reconnect_backoff_jitter * self._jitter_rng().random()
-        state.next_attempt_at = self.node.sim.now + delay
-        return state
-
-    def _jitter_rng(self):
-        """Lazy named substream — creating it only on the first failure
-        keeps fault-free runs byte-identical to builds without it."""
-        if self._backoff_rng is None:
-            self._backoff_rng = self.node.cluster.streams.stream(
-                "sysprofd.backoff.{}".format(self.node.name)
-            )
-        return self._backoff_rng
+        yield from self.publisher.publish(ctx, fmt, blob, kind, text=text)
 
     # ------------------------------------------------------------------
 

@@ -1,0 +1,313 @@
+"""Federation tree: zone-level GPAs with bounded root bandwidth.
+
+A flat SysProf install fans every daemon's frames into one global
+aggregation point, so root ingress grows linearly with node count.  The
+federation tree scales this out (ROADMAP item 1): each rack's daemons
+publish on a zone-scoped channel prefix (``sysprof@<zone>/``) consumed
+by a :class:`ZoneGpa`, which merges quantile sketches and class
+summaries locally and forwards *condensed* frames upward on a
+configurable interval over the same frame wire — merged
+``sysprof.sketch`` rows, per-class ``sysprof.class_summary`` rollups,
+and a single zone-health ``sysprof.nodestats`` heartbeat, all under the
+zone pseudo-node name ``zone:<name>``.  Root ingress then scales with
+zones × classes, not nodes × classes, and a zone-GPA kill degrades one
+zone's staleness rather than the cluster's.
+
+Zones nest: a child zone's parent prefix is its parent zone's channel
+prefix, so 3-tier trees (leaf zones → super-zones → root) compose from
+the same class.  Upward publication reuses the daemon's exact
+endpoint/backoff machinery via
+:class:`~repro.core.publisher.ChannelPublisher`.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.core import encoding
+from repro.core.channels import SYSPROF_PORT_BASE
+from repro.core.lpa import CLASS_SUMMARY_FORMAT, NODE_STATS_FORMAT, SKETCH_FORMAT
+from repro.core.publisher import ChannelPublisher
+from repro.core.tier import AnalyzerTier
+from repro.observability.sketches import QuantileSketch
+
+#: Prefix for zone pseudo-node names in upward-forwarded rows.  The
+#: resulting name must fit the record formats' ``str16`` node field, so
+#: zone names are capped at 11 characters.
+ZONE_NODE_PREFIX = "zone:"
+
+
+def zone_channel_prefix(zone):
+    """The channel prefix a zone's member daemons publish on."""
+    return "sysprof@{}/".format(zone)
+
+
+@dataclass
+class ZoneSpec:
+    """Declarative description of one zone for ``SysProf.install``."""
+
+    name: str
+    gpa_node: str
+    members: list = field(default_factory=list)
+    children: list = field(default_factory=list)  # nested ZoneSpecs
+    forward_interval: float = None  # None -> SysProfConfig default
+
+
+class ZoneGpa(AnalyzerTier):
+    """One federation tier: ingests a zone's frames, forwards condensed
+    rollups to the parent tier."""
+
+    task_name = "zone-gpa"
+    conn_task_name = "zone-gpa-conn"
+
+    def __init__(self, zone, node, hub, clock_table=None, port=SYSPROF_PORT_BASE,
+                 history=20000, stale_threshold=1.0, parent_prefix="sysprof/",
+                 forward_interval=0.5,
+                 reconnect_backoff_base=0.05, reconnect_backoff_cap=2.0,
+                 reconnect_backoff_jitter=0.25, reconnect_max_retries=12):
+        zone_node = ZONE_NODE_PREFIX + zone
+        if len(zone_node) > 16:
+            raise ValueError(
+                "zone name {!r} too long for the str16 node field".format(zone)
+            )
+        super().__init__(
+            node, hub, clock_table=clock_table, port=port, history=history,
+            stale_threshold=stale_threshold,
+            channel_prefix=zone_channel_prefix(zone),
+        )
+        self.zone = zone
+        self.zone_node = zone_node
+        self.parent_prefix = parent_prefix
+        self.forward_interval = forward_interval
+        self.members = []  # monitored node names (filled by the installer)
+        self.children = []  # nested zone names (filled by the installer)
+        self.publisher = ChannelPublisher(
+            node, hub, channel_prefix=parent_prefix,
+            rng_label="zonegpa.backoff.{}".format(node.name),
+            reconnect_backoff_base=reconnect_backoff_base,
+            reconnect_backoff_cap=reconnect_backoff_cap,
+            reconnect_backoff_jitter=reconnect_backoff_jitter,
+            reconnect_max_retries=reconnect_max_retries,
+            pid_fn=lambda: self._forward_task.pid if self._forward_task else 0,
+        )
+        # Formats this tier *produces* (separate from the ingest registry,
+        # which is rebuilt on restart as descriptors are re-learned).
+        self.out_registry = encoding.FormatRegistry()
+        # Condensation state accumulated since the last forward; exact:
+        # sketch merges are lossless bucket additions, summaries are
+        # count-weighted.  Dies with the process on kill().
+        self._pending_sketches = {}  # (class, metric) -> [sketch, start, end]
+        self._pending_classes = {}  # class -> weighted accumulator
+        self._member_last = {}  # member node -> latest nodestats record
+        self._forward_task = None
+        self.forwards = 0
+        self.rows_forwarded = 0
+        self.sketch_merges = 0
+
+    # -- lifecycle -------------------------------------------------------
+
+    def _start_aux(self):
+        self._forward_task = self.node.spawn("zone-gpa-fwd", self._forwarder)
+        self._forward_task.category = "analyzer"
+
+    def _aux_tasks(self):
+        return [self._forward_task]
+
+    def _on_killed(self):
+        self._forward_task = None
+        self._pending_sketches = {}
+        self._pending_classes = {}
+        self._member_last = {}
+        # Upward sockets died with the process; the parent tier observes
+        # resets and our next forward reconnects + re-sends descriptors.
+        self.publisher.forget_all()
+
+    # -- ingest-side condensation ---------------------------------------
+
+    def ingest(self, format_name, records):
+        super().ingest(format_name, records)
+        if format_name == "sysprof.sketch":
+            self._accumulate_sketches(records)
+        elif format_name == "sysprof.class_summary":
+            self._accumulate_summaries(records)
+        elif format_name == "sysprof.nodestats":
+            for record in records:
+                self._member_last[record["node"]] = record
+
+    def _to_reference(self, node, ts):
+        table = self.store.clock_table
+        if table is not None and table.known(node):
+            return table.to_reference(node, ts)
+        return ts
+
+    def _accumulate_sketches(self, records):
+        """Merge incoming sketch rows into the pending per-(class, metric)
+        rollup at ingest time — windows are never re-read from the store,
+        so nothing is dropped or double-counted across forward intervals."""
+        pending = self._pending_sketches
+        for record in records:
+            key = (record["request_class"], record["metric"])
+            sketch = QuantileSketch.from_row(record)
+            node = record["node"]
+            start = self._to_reference(node, record["window_start"])
+            end = self._to_reference(node, record["window_end"])
+            entry = pending.get(key)
+            if entry is None:
+                pending[key] = [sketch, start, end]
+            else:
+                entry[0].merge(sketch)
+                entry[1] = min(entry[1], start)
+                entry[2] = max(entry[2], end)
+                self.sketch_merges += 1
+
+    def _accumulate_summaries(self, records):
+        pending = self._pending_classes
+        for record in records:
+            count = record["count"]
+            node = record["node"]
+            start = self._to_reference(node, record["window_start"])
+            end = self._to_reference(node, record["window_end"])
+            acc = pending.get(record["request_class"])
+            if acc is None:
+                acc = pending[record["request_class"]] = {
+                    "count": 0, "latency": 0.0, "kernel": 0.0, "user": 0.0,
+                    "wait": 0.0, "bytes": 0, "start": start, "end": end,
+                }
+            acc["count"] += count
+            acc["latency"] += record["mean_latency"] * count
+            acc["kernel"] += record["mean_kernel_time"] * count
+            acc["user"] += record["mean_user_time"] * count
+            acc["wait"] += record["mean_kernel_wait"] * count
+            acc["bytes"] += record["total_bytes"]
+            acc["start"] = min(acc["start"], start)
+            acc["end"] = max(acc["end"], end)
+
+    # -- upward forwarding ----------------------------------------------
+
+    def _forwarder(self, ctx):
+        while not self._stopped:
+            yield from ctx.sleep(self.forward_interval)
+            yield from self._forward_up(ctx)
+
+    def _forward_up(self, ctx):
+        costs = self.node.kernel.costs
+        zone_node = self.zone_node
+        sketch_rows = []
+        for key in sorted(self._pending_sketches):
+            sketch, start, end = self._pending_sketches[key]
+            request_class, metric = key
+            sketch_rows.append(
+                sketch.to_row(zone_node, request_class, metric, start, end)
+            )
+        self._pending_sketches = {}
+        summary_rows = []
+        for request_class in sorted(self._pending_classes):
+            acc = self._pending_classes[request_class]
+            count = acc["count"]
+            if not count:
+                continue
+            summary_rows.append((
+                zone_node, request_class, acc["start"], acc["end"], count,
+                acc["latency"] / count, acc["kernel"] / count,
+                acc["user"] / count, acc["wait"] / count, acc["bytes"],
+            ))
+        self._pending_classes = {}
+        stats_rows = []
+        if self._member_last:
+            # One zone-health heartbeat: newest member timestamp
+            # (reference timescale), resource fields summed across the
+            # zone.  Kept across windows so quiet zones still report —
+            # the parent's staleness detector watches the *zone*, the
+            # zone's own detector watches members.
+            newest = 0.0
+            busy = user = kernel = 0.0
+            run_queue = ctx_switches = backlog = pending = 0
+            for node, record in self._member_last.items():
+                newest = max(newest, self._to_reference(node, record["ts"]))
+                busy += record["cpu_busy"]
+                user += record["cpu_user"]
+                kernel += record["cpu_kernel"]
+                run_queue += record["run_queue"]
+                ctx_switches += record["ctx_switches"]
+                backlog += record["rx_backlog_bytes"]
+                pending += record["pending_interactions"]
+            stats_rows.append((zone_node, newest, busy, user, kernel,
+                               run_queue, ctx_switches, backlog, pending))
+        for fmt_spec, rows in ((SKETCH_FORMAT, sketch_rows),
+                               (CLASS_SUMMARY_FORMAT, summary_rows),
+                               (NODE_STATS_FORMAT, stats_rows)):
+            if not rows:
+                continue
+            fmt = self.out_registry.register(*fmt_spec)
+            count = len(rows)
+            yield from ctx.compute(
+                costs.frame_encode_base + costs.record_encode * count
+            )
+            blob = encoding.encode_frame(fmt, rows)
+            yield from self.publisher.publish(ctx, fmt, blob, "sysprof-frame")
+            self.rows_forwarded += count
+        self.forwards += 1
+
+    # -- reporting -------------------------------------------------------
+
+    def stats(self):
+        result = {
+            "records_received": self.records_received,
+            "interactions": len(self.interactions),
+            "class_summaries": len(self.class_summaries),
+            "nodes_reporting": sorted(self.node_stats),
+            "frames_received": self.frames_received_base
+            + self.frame_decoder.frames_decoded,
+            "decode_errors": self.decode_errors,
+            "ingress_bytes": self.bytes_received,
+            "sketch_rows": self.sketches.rows_ingested,
+            "sketch_series": len(self.sketches.series),
+            "sketch_merges": self.sketch_merges,
+            "forwards": self.forwards,
+            "rows_forwarded": self.rows_forwarded,
+            "queries_served": self.queries_served,
+            "restarts": self.restarts,
+        }
+        for key, value in self.publisher.stats().items():
+            result[key] = value
+        return result
+
+
+class FederationTree:
+    """Registry of a SysProf installation's zone GPAs."""
+
+    def __init__(self):
+        self.zones = {}  # zone name -> ZoneGpa, parents before children
+
+    def add(self, zone_gpa):
+        if zone_gpa.zone in self.zones:
+            raise ValueError("duplicate zone name: {}".format(zone_gpa.zone))
+        self.zones[zone_gpa.zone] = zone_gpa
+        return zone_gpa
+
+    def zone(self, name):
+        return self.zones[name]
+
+    def all_zones(self):
+        return list(self.zones.values())
+
+    def top_level(self):
+        """Zones forwarding straight to the root (``sysprof/`` prefix)."""
+        return [z for z in self.zones.values() if z.parent_prefix == "sysprof/"]
+
+    def root_candidates(self):
+        """Pseudo-node names the root tier sees for its direct children."""
+        return [z.zone_node for z in self.top_level()]
+
+    def locate_member(self, node_name):
+        """The zone GPA whose members include ``node_name`` (None if flat)."""
+        for zone_gpa in self.zones.values():
+            if node_name in zone_gpa.members:
+                return zone_gpa
+        return None
+
+    def start(self):
+        for zone_gpa in self.zones.values():
+            zone_gpa.start()
+
+    def stop(self):
+        for zone_gpa in self.zones.values():
+            zone_gpa.stop()

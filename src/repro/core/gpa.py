@@ -7,410 +7,56 @@ different nodes.  After aggregating the resource usage of each individual
 interaction, GPA computes the overall performance of the associated
 request-response pair.  Other nodes in the system can query the GPA ...
 The GPA periodically dumps its information onto local disk."
+
+Since the federation refactor the aggregation/query machinery lives in
+:mod:`repro.core.tier` (shared with :class:`~repro.core.federation.ZoneGpa`);
+this class adds the root-tier specifics: periodic JSON dumps and the
+operator-facing ``stats()``.
 """
 
-import bisect
 import json
-from collections import deque
 
-from repro.core import encoding
 from repro.core.channels import SYSPROF_PORT_BASE
-from repro.observability.sketches import SketchStore
+from repro.core.tier import AnalyzerTier, CausalPath
+
+__all__ = ["CausalPath", "GlobalPerformanceAnalyzer"]
 
 
-class CausalPath:
-    """A correlated end-to-end request: the upstream (client-facing)
-    interaction plus the downstream interactions nested inside it."""
-
-    __slots__ = ("upstream", "downstream")
-
-    def __init__(self, upstream, downstream):
-        self.upstream = upstream
-        self.downstream = downstream
-
-    @property
-    def total_latency(self):
-        return self.upstream["total_latency"]
-
-    @property
-    def downstream_latency(self):
-        return sum(record["total_latency"] for record in self.downstream)
-
-    @property
-    def residual_latency(self):
-        """Time not accounted to any downstream node: network + local work."""
-        return self.total_latency - self.downstream_latency
-
-    def breakdown(self):
-        return {
-            "upstream_node": self.upstream["node"],
-            "total": self.total_latency,
-            "upstream_user": self.upstream["user_time"],
-            "upstream_kernel": self.upstream["kernel_time"],
-            "downstream": [
-                {
-                    "node": record["node"],
-                    "total": record["total_latency"],
-                    "kernel": record["kernel_time"],
-                    "user": record["user_time"],
-                }
-                for record in self.downstream
-            ],
-            "residual": self.residual_latency,
-        }
-
-
-class GlobalPerformanceAnalyzer:
+class GlobalPerformanceAnalyzer(AnalyzerTier):
     """Receives channel data on a management node and answers queries."""
+
+    task_name = "gpa"
+    conn_task_name = "gpa-conn"
 
     def __init__(self, node, hub, clock_table=None, port=SYSPROF_PORT_BASE,
                  history=50000, dump_path=None, dump_interval=None,
                  stale_threshold=1.0):
-        self.node = node
-        self.hub = hub
-        self.clock_table = clock_table
-        self.port = port
-        # Default quiet-time before stale_nodes() suspects a node; also
-        # the fallback threshold for staleness SLO rules.
-        self.stale_threshold = stale_threshold
-        self.registry = encoding.FormatRegistry()
-        # Streaming frame decoder: adopts descriptors as they arrive and
-        # unpacks whole frames through the cached multi-record packers.
-        self.frame_decoder = encoding.FrameDecoder(self.registry)
-        self.interactions = deque(maxlen=history)
-        self.class_summaries = deque(maxlen=history)
-        self.cpa_metrics = deque(maxlen=history)
-        self.syscall_summaries = deque(maxlen=history)
-        self.node_stats = {}  # node -> deque of samples
-        # Windowed quantile sketches merged from sysprof.sketch rows.
-        self.sketches = SketchStore(clock_table=clock_table)
-        # Optional DiagnosisEngine; attach() sets this and ingest() then
-        # offers every batch to its SLO evaluation.
-        self.diagnosis = None
-        self.records_received = 0
-        # Frames decoded by decoders that died with past processes; keeps
-        # the stats() "frames_received" counter cumulative across restarts
-        # like every other ingest counter (it used to silently reset).
-        self.frames_received_base = 0
-        self.decode_errors = 0
-        self.queries_served = 0
+        super().__init__(
+            node, hub, clock_table=clock_table, port=port, history=history,
+            stale_threshold=stale_threshold, channel_prefix="sysprof/",
+        )
         self.dump_path = dump_path
         self.dump_interval = dump_interval
         self.dumps_written = 0
-        self._server_task = None
-        self._dump_task = None
-        self._conn_tasks = []
-        self._conn_socks = []
-        self.restarts = 0
-        self._stopped = False
-
-    # ------------------------------------------------------------------
-    # wiring
-    # ------------------------------------------------------------------
-
-    def subscribe_all(self):
-        """Subscribe this GPA to the standard SysProf channels."""
-        for channel in (
-            "sysprof/sysprof.interaction",
-            "sysprof/sysprof.class_summary",
-            "sysprof/sysprof.nodestats",
-            "sysprof/sysprof.cpa",
-            "sysprof/sysprof.syscalls",
-            "sysprof/sysprof.sketch",
-        ):
-            self.hub.subscribe(channel, self.node.name, self.port)
-
-    def start(self):
-        if self._server_task is None:
-            self._server_task = self.node.spawn("gpa", self._server)
-            self._server_task.category = "analyzer"
-            if self.dump_path and self.dump_interval:
-                self._dump_task = self.node.spawn("gpa-dump", self._dumper)
-                self._dump_task.category = "analyzer"
-        return self._server_task
-
-    def stop(self):
-        self._stopped = True
-
-    def kill(self, reason="fault-injection"):
-        """Crash the GPA process: server, dumper, and every connection
-        handler die; the listening port closes; established sockets reset
-        so publishing daemons observe the failure instead of blocking on
-        a dead peer's flow-control window."""
-        for task in [self._server_task, self._dump_task] + self._conn_tasks:
-            if task is not None:
-                task.kill(reason)
-        self.node.kernel.close_listener(self.port)
-        for sock in self._conn_socks:
-            sock.reset()
-        self._conn_tasks = []
-        self._conn_socks = []
-        self._server_task = None
         self._dump_task = None
 
-    def restart(self):
-        """Respawn after :meth:`kill` as a fresh process would come up.
+    # ------------------------------------------------------------------
 
-        Decoder state and in-memory history died with the old process —
-        formats are re-learned from the descriptors daemons re-send on
-        their fresh connections.  Ingest counters stay cumulative (they
-        live on this object, standing in for the operator's long-lived
-        view of the analyzer).
-        """
-        # Bank the dead decoder's frame count before discarding it, so
-        # stats()["frames_received"] never moves backwards on restart.
-        self.frames_received_base += self.frame_decoder.frames_decoded
-        self.registry = encoding.FormatRegistry()
-        self.frame_decoder = encoding.FrameDecoder(self.registry)
-        self.interactions.clear()
-        self.class_summaries.clear()
-        self.cpa_metrics.clear()
-        self.syscall_summaries.clear()
-        self.node_stats.clear()
-        self.sketches.clear()
-        self.subscribe_all()  # idempotent; re-asserts hub registration
-        self.restarts += 1
-        return self.start()
+    def _start_aux(self):
+        if self.dump_path and self.dump_interval:
+            self._dump_task = self.node.spawn("gpa-dump", self._dumper)
+            self._dump_task.category = "analyzer"
 
-    def _server(self, ctx):
-        lsock = yield from ctx.listen(self.port)
-        while not self._stopped:
-            sock = yield from ctx.accept(lsock)
-            self._conn_socks.append(sock)
-            conn_task = ctx.spawn("gpa-conn", self._handler, sock)
-            conn_task.category = "analyzer"
-            self._conn_tasks.append(conn_task)
+    def _aux_tasks(self):
+        return [self._dump_task]
 
-    def _handler(self, ctx, sock):
-        while True:
-            message = yield from ctx.recv_message(sock)
-            if message is None:
-                break
-            meta = message.meta or {}
-            blob = meta.get("blob")
-            if message.kind == "sysprof-query":
-                yield from self._answer_query(ctx, sock, meta)
-            elif message.kind == "sysprof-fmt" and blob:
-                self.frame_decoder.feed_descriptor(blob)
-            elif message.kind == "sysprof-frame" and blob:
-                try:
-                    fmt, rows = self.frame_decoder.feed(blob)
-                except (KeyError, ValueError):
-                    self.decode_errors += 1
-                    continue
-                # Small per-record analysis cost at the global level.
-                yield from ctx.compute(2e-6 * len(rows))
-                if fmt.name == "sysprof.sketch":
-                    # Merging a serialized sketch into the store is a
-                    # bucket-table walk, not a constant-time append.
-                    yield from ctx.compute(
-                        self.node.kernel.costs.sketch_merge * len(rows)
-                    )
-                self.ingest_rows(fmt, rows)
-            elif message.kind == "sysprof-data" and blob:
-                if meta.get("text"):
-                    continue  # text ablation payloads are not decoded
-                try:
-                    fmt, records = encoding.decode_records(self.registry, blob)
-                except (KeyError, ValueError):
-                    self.decode_errors += 1
-                    continue
-                # Small per-record analysis cost at the global level.
-                yield from ctx.compute(2e-6 * len(records))
-                if fmt.name == "sysprof.sketch":
-                    # Same merge charge as the frame path, so both wire
-                    # modes keep identical simulated CPU.
-                    yield from ctx.compute(
-                        self.node.kernel.costs.sketch_merge * len(records)
-                    )
-                self.ingest(fmt.name, records)
-
-    def _answer_query(self, ctx, sock, meta):
-        """Serve one remote query (paper: "Other nodes in the system can
-        query the GPA")."""
-        from repro.core.query import GpaQueryError, execute_query
-
-        try:
-            result, size = execute_query(
-                self, meta.get("kind"), meta.get("params")
-            )
-            # Small per-query analysis cost at the GPA.
-            yield from ctx.compute(5e-6)
-            self.queries_served += 1
-            yield from ctx.send_message(
-                sock, size, kind="sysprof-result", meta={"result": result}
-            )
-        except (GpaQueryError, KeyError, TypeError, ValueError) as error:
-            yield from ctx.send_message(
-                sock, 96, kind="sysprof-result", meta={"error": str(error)}
-            )
+    def _on_killed(self):
+        self._dump_task = None
 
     def _dumper(self, ctx):
         while not self._stopped:
             yield from ctx.sleep(self.dump_interval)
             self.dump()
-
-    # ------------------------------------------------------------------
-    # ingest + time correction
-    # ------------------------------------------------------------------
-
-    def ingest_rows(self, fmt, rows):
-        """Frame-mode ingest: decoded row tuples become the stored record
-        dicts directly (one ``zip`` per record — there is no intermediate
-        per-record blob slice or throwaway dict between the wire and the
-        query structures)."""
-        names = fmt.names
-        self.ingest(fmt.name, [dict(zip(names, row)) for row in rows])
-
-    def ingest(self, format_name, records):
-        self.records_received += len(records)
-        if format_name == "sysprof.interaction":
-            for record in records:
-                self._correct_times(record)
-                self.interactions.append(record)
-        elif format_name == "sysprof.class_summary":
-            self.class_summaries.extend(records)
-        elif format_name == "sysprof.nodestats":
-            for record in records:
-                history = self.node_stats.setdefault(record["node"], deque(maxlen=512))
-                history.append(record)
-        elif format_name == "sysprof.cpa":
-            self.cpa_metrics.extend(records)
-        elif format_name == "sysprof.syscalls":
-            self.syscall_summaries.extend(records)
-        elif format_name == "sysprof.sketch":
-            for record in records:
-                self.sketches.ingest(record)
-        if self.diagnosis is not None:
-            self.diagnosis.on_ingest(format_name, records)
-
-    def _correct_times(self, record):
-        """Annotate with reference-timescale start/end via the clock table."""
-        node = record["node"]
-        if self.clock_table is not None and self.clock_table.known(node):
-            record["start_ref"] = self.clock_table.to_reference(node, record["start_ts"])
-            record["end_ref"] = self.clock_table.to_reference(node, record["end_ts"])
-        else:
-            record["start_ref"] = record["start_ts"]
-            record["end_ref"] = record["end_ts"]
-
-    # ------------------------------------------------------------------
-    # queries
-    # ------------------------------------------------------------------
-
-    def query_interactions(self, node=None, request_class=None, since=None,
-                           client_ip=None, server_ip=None):
-        results = []
-        for record in self.interactions:
-            if node is not None and record["node"] != node:
-                continue
-            if request_class is not None and record["request_class"] != request_class:
-                continue
-            if since is not None and record["start_ref"] < since:
-                continue
-            if client_ip is not None and record["client_ip"] != client_ip:
-                continue
-            if server_ip is not None and record["server_ip"] != server_ip:
-                continue
-            results.append(record)
-        return results
-
-    def node_summary(self, node):
-        """Aggregate interaction metrics observed at one node."""
-        records = self.query_interactions(node=node)
-        if not records:
-            return {"node": node, "count": 0}
-        count = len(records)
-        return {
-            "node": node,
-            "count": count,
-            "mean_total": sum(r["total_latency"] for r in records) / count,
-            "mean_kernel_time": sum(r["kernel_time"] for r in records) / count,
-            "mean_kernel_wait": sum(r["kernel_wait"] for r in records) / count,
-            "mean_user_time": sum(r["user_time"] for r in records) / count,
-            "mean_io_blocked": sum(r["io_blocked"] for r in records) / count,
-        }
-
-    def server_load(self, node):
-        """Recent load of ``node`` from its nodestats stream.
-
-        Returns CPU utilization over the last sampling window plus queue
-        depths — the signal RA-DWCS uses to pick the lightly-loaded server.
-        """
-        history = self.node_stats.get(node)
-        if not history or len(history) < 2:
-            return None
-        last, prev = history[-1], history[-2]
-        span = last["ts"] - prev["ts"]
-        if span <= 0:
-            return None
-        return {
-            "node": node,
-            "cpu_utilization": max(0.0, (last["cpu_busy"] - prev["cpu_busy"]) / span),
-            "run_queue": last["run_queue"],
-            "rx_backlog_bytes": last["rx_backlog_bytes"],
-            "pending_interactions": last["pending_interactions"],
-            "ts": last["ts"],
-        }
-
-    def stale_nodes(self, now_ref, threshold=None):
-        """Failure suspicion: monitored nodes whose telemetry went quiet.
-
-        "A typical problem in these environments is to detect failures
-        and performance bottlenecks" (paper §3.2) — a node whose
-        dissemination daemon has not published a nodestats sample within
-        ``threshold`` of reference-time ``now_ref`` is suspected down
-        (crashed node, wedged kernel, or partitioned network).
-        ``threshold`` defaults to the installation's configured
-        ``stale_threshold``.
-
-        Returns ``{node: seconds_since_last_sample}``.
-        """
-        if threshold is None:
-            threshold = self.stale_threshold
-        suspects = {}
-        for node, history in self.node_stats.items():
-            if not history:
-                continue
-            last_ts = history[-1]["ts"]
-            if self.clock_table is not None and self.clock_table.known(node):
-                last_ts = self.clock_table.to_reference(node, last_ts)
-            age = now_ref - last_ts
-            if age > threshold:
-                suspects[node] = age
-        return suspects
-
-    # ------------------------------------------------------------------
-    # cross-node correlation
-    # ------------------------------------------------------------------
-
-    def correlate_paths(self, upstream_node, downstream_nodes, slack=2e-3):
-        """Build causal paths: downstream interactions nested (in corrected
-        time) inside each upstream interaction.
-
-        The upstream node is the one facing the original client (the NFS
-        proxy, the web front-end); downstream nodes serve it.  ``slack``
-        tolerates clock-correction error at the containment boundaries.
-        """
-        downstream_set = set(downstream_nodes)
-        downstream = sorted(
-            (record for record in self.interactions if record["node"] in downstream_set),
-            key=lambda record: record["start_ref"],
-        )
-        starts = [record["start_ref"] for record in downstream]
-        paths = []
-        for upstream in self.interactions:
-            if upstream["node"] != upstream_node:
-                continue
-            lo = bisect.bisect_left(starts, upstream["start_ref"] - slack)
-            nested = []
-            for record in downstream[lo:]:
-                if record["start_ref"] > upstream["end_ref"] + slack:
-                    break
-                if record["end_ref"] <= upstream["end_ref"] + slack:
-                    nested.append(record)
-            paths.append(CausalPath(upstream, nested))
-        return paths
 
     # ------------------------------------------------------------------
     # persistence
@@ -447,6 +93,7 @@ class GlobalPerformanceAnalyzer:
             "frames_received": self.frames_received_base
             + self.frame_decoder.frames_decoded,
             "decode_errors": self.decode_errors,
+            "ingress_bytes": self.bytes_received,
             "sketch_rows": self.sketches.rows_ingested,
             "sketch_series": len(self.sketches.series),
             "dumps_written": self.dumps_written,

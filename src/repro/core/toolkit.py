@@ -24,6 +24,7 @@ from repro.core.channels import (
 )
 from repro.core.controller import Controller
 from repro.core.daemon import DisseminationDaemon
+from repro.core.federation import FederationTree, ZoneGpa, ZoneSpec, zone_channel_prefix
 from repro.core.gpa import GlobalPerformanceAnalyzer
 from repro.core.interactions import pending_interactions
 from repro.core.kprof import Kprof, exclude_port_range
@@ -59,6 +60,13 @@ class SysProfConfig:
     text_encoding: bool = False  # ablation: ship text instead of PBIO binary
     frame_dissemination: bool = True  # batched frames (False: per-record blobs)
     daemon_affinity: int = None  # pin sysprofd to a core (SMP nodes)
+    # Federation: default upward forward interval for zone GPAs and the
+    # per-zone eviction pacing offset.  With stagger > 0 each monitored
+    # node's daemon start is delayed by (index * stagger) mod the
+    # eviction interval, de-synchronizing the cluster-wide eviction herd
+    # at scale; 0.0 keeps the historical everyone-at-once behavior.
+    forward_interval: float = 0.5
+    eviction_stagger: float = 0.0
     # Daemon reconnect pacing towards dead/unreachable subscribers.
     reconnect_backoff_base: float = 0.05
     reconnect_backoff_cap: float = 2.0
@@ -106,16 +114,32 @@ class SysProf:
         self.hub = ChannelHub()
         self.monitors = {}
         self.gpa = None
+        self.federation = None  # FederationTree when zones are installed
         self.controller = Controller(self)
         self.metrics = None  # MetricsRegistry, built by install()
         self._started = False
 
     # ------------------------------------------------------------------
 
-    def install(self, monitored=None, gpa_node=None):
+    def install(self, monitored=None, gpa_node=None, zones=None):
         """Install Kprof/LPAs/daemons on ``monitored`` nodes (default: all)
-        and the GPA on ``gpa_node`` (default: no global analyzer)."""
-        if monitored is None:
+        and the GPA on ``gpa_node`` (default: no global analyzer).
+
+        ``zones`` is an optional list of :class:`ZoneSpec` (or equivalent
+        dicts) describing a federation tree: each zone's member daemons
+        publish on the zone's channel prefix, a :class:`ZoneGpa` on the
+        zone's ``gpa_node`` condenses them, and condensed frames flow up
+        to the parent tier (nested zones) or the root GPA.  With zones,
+        ``monitored`` defaults to *no* extra flat-monitored nodes — zone
+        members are installed through their specs.
+        """
+        if zones:
+            self.federation = FederationTree()
+            for spec in zones:
+                self._install_zone(spec, parent_prefix="sysprof/")
+            if monitored is None:
+                monitored = []
+        elif monitored is None:
             monitored = list(self.cluster.nodes)
         for name in monitored:
             self._install_node(self.cluster.node(name))
@@ -134,7 +158,35 @@ class SysProf:
         self.metrics = build_registry(self)
         return self
 
-    def _install_node(self, node):
+    def _install_zone(self, spec, parent_prefix):
+        """Install one zone (and, recursively, its children)."""
+        if isinstance(spec, dict):
+            spec = ZoneSpec(**spec)
+        config = self.config
+        prefix = zone_channel_prefix(spec.name)
+        for member in spec.members:
+            self._install_node(self.cluster.node(member), channel_prefix=prefix)
+        node = self.cluster.node(spec.gpa_node)
+        zone_gpa = ZoneGpa(
+            spec.name, node, self.hub, clock_table=self.clock_table,
+            port=config.gpa_port, stale_threshold=config.stale_threshold,
+            parent_prefix=parent_prefix,
+            forward_interval=spec.forward_interval or config.forward_interval,
+            reconnect_backoff_base=config.reconnect_backoff_base,
+            reconnect_backoff_cap=config.reconnect_backoff_cap,
+            reconnect_backoff_jitter=config.reconnect_backoff_jitter,
+            reconnect_max_retries=config.reconnect_max_retries,
+        )
+        zone_gpa.members = list(spec.members)
+        zone_gpa.subscribe_all()
+        self.federation.add(zone_gpa)
+        for child in spec.children:
+            child_spec = ZoneSpec(**child) if isinstance(child, dict) else child
+            zone_gpa.children.append(child_spec.name)
+            self._install_zone(child_spec, parent_prefix=prefix)
+        return zone_gpa
+
+    def _install_node(self, node, channel_prefix="sysprof/"):
         config = self.config
         kprof = Kprof(node.kernel).attach()
         predicate = None
@@ -155,6 +207,7 @@ class SysProf:
         daemon = DisseminationDaemon(
             node, self.hub,
             eviction_interval=config.eviction_interval,
+            channel_prefix=channel_prefix,
             text_encoding=config.text_encoding,
             affinity=affinity,
             frame_mode=config.frame_dissemination,
@@ -198,10 +251,21 @@ class SysProf:
             return self
         if self.gpa is not None:
             self.gpa.start()
-        for monitor in self.monitors.values():
+        if self.federation is not None:
+            self.federation.start()
+        stagger = self.config.eviction_stagger
+        interval = self.config.eviction_interval
+        for index, monitor in enumerate(self.monitors.values()):
             for lpa in monitor.all_lpas():
                 lpa.start()
-            monitor.daemon.start()
+            offset = (index * stagger) % interval if stagger > 0.0 else 0.0
+            if offset > 0.0:
+                # Per-zone eviction pacing: spread daemon wakeups across
+                # the eviction interval so a 256-node cluster doesn't
+                # fire every eviction timer at the same instant.
+                self.cluster.sim.schedule(offset, monitor.daemon.start)
+            else:
+                monitor.daemon.start()
         self._started = True
         return self
 
@@ -211,6 +275,8 @@ class SysProf:
             for lpa in monitor.all_lpas():
                 lpa.stop()
             monitor.daemon.stop()
+        if self.federation is not None:
+            self.federation.stop()
         if self.gpa is not None:
             self.gpa.stop()
         self._started = False

@@ -24,6 +24,12 @@ from repro.experiments.diagnose import (
     DiagnoseRunResult,
     run_diagnose_experiment,
 )
+from repro.experiments.federation import (
+    FederationConfig,
+    FederationPoint,
+    run_federation_point,
+    run_federation_sweep,
+)
 from repro.experiments.failures import (
     FailureExperimentConfig,
     FailureRunResult,
@@ -55,6 +61,8 @@ __all__ = [
     "DiagnoseRunResult",
     "FailureExperimentConfig",
     "FailureRunResult",
+    "FederationConfig",
+    "FederationPoint",
     "NfsExperimentConfig",
     "NfsRunResult",
     "ObservabilityConfig",
@@ -76,6 +84,8 @@ __all__ = [
     "run_diagnose_experiment",
     "run_failure_experiment",
     "run_failure_suite",
+    "run_federation_point",
+    "run_federation_sweep",
     "run_headline_experiments",
     "run_nfs_experiment",
     "run_overhead_experiment",

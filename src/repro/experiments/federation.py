@@ -1,0 +1,286 @@
+"""Federation scaling experiment: root ingress vs cluster size.
+
+A flat SysProf install ships every node's frames straight to the root
+GPA, so root ingress bytes and root simulated CPU grow linearly with
+node count.  The federation tree (ROADMAP item 1) bounds both: each
+rack's frames terminate at a :class:`~repro.core.federation.ZoneGpa`
+that forwards merged sketches, count-weighted class rollups, and one
+zone-health heartbeat upward per forward interval, so the root's load
+scales with *zones*, not nodes.
+
+Each experiment point builds a spine/leaf cluster
+(:func:`~repro.cluster.topology.build_spine_leaf`), installs SysProf
+either flat or federated **on the same topology** (rack-GPA nodes exist
+but sit idle in flat mode), drives synthetic per-node telemetry
+(:mod:`repro.workloads.synthetic` — real buffers, daemons, frames, and
+wire bytes; no request path), and measures:
+
+* ``root_bytes_per_s`` — the root GPA's ingress bytes over the run;
+* ``root_cpu_share`` — the management node's simulated-CPU busy share;
+* ``staleness_p95`` — p95 age of the freshest per-child nodestats row
+  at the root, sampled every ``sample_interval`` after warmup.
+
+:func:`run_federation_sweep` repeats this at several node counts and is
+what ``python -m repro federation`` and the benchmark harness (which
+appends to ``BENCH_federation.json``) both drive.
+"""
+
+import json
+import math
+import os
+import subprocess
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.cluster import Cluster, build_spine_leaf
+from repro.core import SysProf, SysProfConfig, ZoneSpec
+from repro.workloads.synthetic import install_synthetic_load
+
+
+@dataclass
+class FederationConfig:
+    """One scaling point: cluster shape, monitoring plane, and run length."""
+
+    nodes: int = 64               # monitored nodes (excl. GPA/mgmt hosts)
+    zones: int = 0                # 0 -> one zone per ~sqrt(nodes) rack
+    federated: bool = True        # False: flat install on the same racks
+    # -- monitoring plane ------------------------------------------------
+    eviction_interval: float = 0.25
+    forward_interval: float = 0.5
+    eviction_stagger: float = 0.002  # de-sync the eviction herd
+    stale_threshold: float = 1.0
+    # -- synthetic telemetry ---------------------------------------------
+    request_classes: tuple = ("rpc",)
+    samples_per_window: int = 16
+    # -- staleness sampling ----------------------------------------------
+    sample_interval: float = 0.2
+    warmup: float = 1.5           # skip startup transient before sampling
+    # -- run -------------------------------------------------------------
+    duration: float = 5.0
+    seed: int = 17
+
+
+def default_zones(nodes):
+    """Balanced two-tier shape: ~sqrt(nodes) racks of ~sqrt(nodes)."""
+    return max(2, int(round(math.sqrt(nodes))))
+
+
+def smoke_config(nodes=16, zones=2):
+    """A seconds-not-minutes configuration for CI and --smoke runs."""
+    return FederationConfig(nodes=nodes, zones=zones, duration=3.0)
+
+
+@dataclass
+class FederationPoint:
+    """Measured root load for one (nodes, mode) scaling point."""
+
+    nodes: int
+    zones: int
+    federated: bool
+    duration: float
+    root_ingress_bytes: int
+    root_bytes_per_s: float
+    root_cpu_seconds: float
+    root_cpu_share: float
+    staleness_p95: float
+    staleness_samples: int
+    root_records: int
+    root_children: int            # distinct nodes the root sees reporting
+    zone_rows_forwarded: int
+    zone_forwards: int
+    wall_seconds: float
+
+    def row(self):
+        return (
+            self.nodes,
+            "federated" if self.federated else "flat",
+            self.zones if self.federated else 0,
+            round(self.root_bytes_per_s),
+            "{:.4f}".format(self.root_cpu_share),
+            "{:.3f}".format(self.staleness_p95),
+        )
+
+
+def _percentile(values, p):
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = (p / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    frac = rank - low
+    return ordered[low] * (1.0 - frac) + ordered[high] * frac
+
+
+def run_federation_point(config=None):
+    """Build, run, and measure one scaling point."""
+    config = config or FederationConfig()
+    started = time.perf_counter()
+    zones = config.zones or default_zones(config.nodes)
+    per_rack = max(1, config.nodes // zones)
+    cluster = Cluster(seed=config.seed)
+    topology = build_spine_leaf(
+        cluster, racks=zones, nodes_per_rack=per_rack, mgmt_node="mgmt"
+    )
+    sysprof = SysProf(
+        cluster,
+        SysProfConfig(
+            eviction_interval=config.eviction_interval,
+            forward_interval=config.forward_interval,
+            eviction_stagger=config.eviction_stagger,
+            stale_threshold=config.stale_threshold,
+            latency_sketches=False,  # synthetic LPAs supply sketch rows
+        ),
+    )
+    if config.federated:
+        specs = [
+            ZoneSpec(name=rack.name, gpa_node=rack.gpa_node,
+                     members=list(rack.nodes))
+            for rack in topology.racks
+        ]
+        sysprof.install(zones=specs, gpa_node="mgmt")
+    else:
+        sysprof.install(monitored=topology.node_names, gpa_node="mgmt")
+    install_synthetic_load(
+        sysprof,
+        request_classes=config.request_classes,
+        samples_per_window=config.samples_per_window,
+    )
+    sysprof.start()
+
+    gpa = sysprof.gpa
+    ages = []
+
+    def sample_staleness():
+        now = cluster.sim.now
+        for history in gpa.node_stats.values():
+            if history:
+                ages.append(max(0.0, now - history[-1]["ts"]))
+        if now + config.sample_interval <= config.duration:
+            cluster.sim.schedule(config.sample_interval, sample_staleness)
+
+    cluster.sim.schedule(config.warmup, sample_staleness)
+    cluster.run(until=config.duration)
+
+    mgmt_kernel = cluster.node("mgmt").kernel
+    elapsed = cluster.sim.now or config.duration
+    zone_rows = zone_forwards = 0
+    if sysprof.federation is not None:
+        for zone_gpa in sysprof.federation.all_zones():
+            zone_rows += zone_gpa.rows_forwarded
+            zone_forwards += zone_gpa.forwards
+    return FederationPoint(
+        nodes=zones * per_rack,
+        zones=zones if config.federated else 0,
+        federated=config.federated,
+        duration=elapsed,
+        root_ingress_bytes=gpa.bytes_received,
+        root_bytes_per_s=gpa.bytes_received / elapsed,
+        root_cpu_seconds=mgmt_kernel.cpu.busy_time,
+        root_cpu_share=mgmt_kernel.cpu.busy_time / elapsed,
+        staleness_p95=_percentile(ages, 95.0),
+        staleness_samples=len(ages),
+        root_records=gpa.records_received,
+        root_children=len(gpa.node_stats),
+        zone_rows_forwarded=zone_rows,
+        zone_forwards=zone_forwards,
+        wall_seconds=time.perf_counter() - started,
+    )
+
+
+def run_federation_sweep(node_counts=(16, 64, 256), base_config=None,
+                         modes=(False, True)):
+    """Measure flat and federated root load across ``node_counts``.
+
+    Returns ``{"points": [FederationPoint...]}`` ordered by node count
+    then mode (flat before federated), the trajectory shape recorded in
+    ``BENCH_federation.json``.
+    """
+    base = base_config or FederationConfig()
+    points = []
+    for nodes in node_counts:
+        for federated in modes:
+            config = FederationConfig(
+                nodes=nodes,
+                zones=base.zones or default_zones(nodes),
+                federated=federated,
+                eviction_interval=base.eviction_interval,
+                forward_interval=base.forward_interval,
+                eviction_stagger=base.eviction_stagger,
+                stale_threshold=base.stale_threshold,
+                request_classes=base.request_classes,
+                samples_per_window=base.samples_per_window,
+                sample_interval=base.sample_interval,
+                warmup=base.warmup,
+                duration=base.duration,
+                seed=base.seed,
+            )
+            points.append(run_federation_point(config))
+    return {"points": points}
+
+
+#: Where the CLI appends its scaling trajectory (repo root).
+BENCH_PATH = Path(__file__).resolve().parents[3] / "BENCH_federation.json"
+BENCH_SCHEMA = "sysprof-repro/bench-federation/v1"
+
+
+def record_trajectory(path, schema, payload):
+    """Append one run to a ``BENCH_*.json`` trajectory (same layout as
+    the benchmark harness: oldest-first ``trajectory`` list, newest
+    mirrored under ``latest``, each entry commit- and date-stamped)."""
+    path = Path(path)
+    doc = {}
+    if path.exists():
+        try:
+            doc = json.loads(path.read_text())
+        except ValueError:
+            doc = {}
+    trajectory = doc.get("trajectory")
+    if not isinstance(trajectory, list):
+        trajectory = []
+    entry = dict(payload)
+    entry["commit"] = _git_commit()
+    entry["date"] = time.strftime("%Y-%m-%d")
+    trajectory.append(entry)
+    path.write_text(json.dumps({
+        "schema": schema,
+        "latest": entry,
+        "trajectory": trajectory,
+    }, indent=2) + "\n")
+    return entry
+
+
+def _git_commit():
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True, text=True, timeout=10,
+        )
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except OSError:
+        pass
+    return "unknown"
+
+
+def sweep_payload(sweep):
+    """JSON-ready trajectory payload for ``BENCH_federation.json``."""
+    return {
+        "points": [
+            {
+                "nodes": p.nodes,
+                "mode": "federated" if p.federated else "flat",
+                "zones": p.zones,
+                "root_bytes_per_s": round(p.root_bytes_per_s, 1),
+                "root_ingress_bytes": p.root_ingress_bytes,
+                "root_cpu_share": round(p.root_cpu_share, 6),
+                "staleness_p95": round(p.staleness_p95, 4),
+                "root_children": p.root_children,
+                "zone_rows_forwarded": p.zone_rows_forwarded,
+                "wall_seconds": round(p.wall_seconds, 2),
+            }
+            for p in sweep["points"]
+        ]
+    }

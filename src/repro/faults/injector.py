@@ -42,6 +42,8 @@ class FaultInjector:
             sched.KIND_DAEMON_RESTART: self._do_daemon_restart,
             sched.KIND_GPA_KILL: self._do_gpa_kill,
             sched.KIND_GPA_RESTART: self._do_gpa_restart,
+            sched.KIND_ZONE_GPA_KILL: self._do_zone_gpa_kill,
+            sched.KIND_ZONE_GPA_RESTART: self._do_zone_gpa_restart,
             sched.KIND_NODE_CRASH: self._do_node_crash,
             sched.KIND_LINK_DOWN: self._do_link_down,
             sched.KIND_LINK_UP: self._do_link_up,
@@ -120,6 +122,20 @@ class FaultInjector:
 
     def _do_gpa_restart(self, event):
         self.sysprof.gpa.restart()
+
+    def _zone(self, name):
+        if self.sysprof is None or self.sysprof.federation is None:
+            raise SimError("zone faults need a federated SysProf installation")
+        try:
+            return self.sysprof.federation.zone(name)
+        except KeyError:
+            raise SimError("unknown federation zone: {!r}".format(name)) from None
+
+    def _do_zone_gpa_kill(self, event):
+        self._zone(event.target).kill("fault:{}".format(event.kind))
+
+    def _do_zone_gpa_restart(self, event):
+        self._zone(event.target).restart()
 
     def _do_node_crash(self, event):
         node = self.cluster.node(event.target)

@@ -10,6 +10,8 @@ KIND_DAEMON_KILL = "daemon_kill"
 KIND_DAEMON_RESTART = "daemon_restart"
 KIND_GPA_KILL = "gpa_kill"
 KIND_GPA_RESTART = "gpa_restart"
+KIND_ZONE_GPA_KILL = "zone_gpa_kill"
+KIND_ZONE_GPA_RESTART = "zone_gpa_restart"
 KIND_NODE_CRASH = "node_crash"
 KIND_LINK_DOWN = "link_down"
 KIND_LINK_UP = "link_up"
@@ -23,6 +25,8 @@ KINDS = frozenset(
         KIND_DAEMON_RESTART,
         KIND_GPA_KILL,
         KIND_GPA_RESTART,
+        KIND_ZONE_GPA_KILL,
+        KIND_ZONE_GPA_RESTART,
         KIND_NODE_CRASH,
         KIND_LINK_DOWN,
         KIND_LINK_UP,
@@ -43,6 +47,9 @@ _NODE_TARGET_KINDS = frozenset(
         KIND_CPU_HOG,
     }
 )
+
+# Kinds whose target names a federation zone.
+_ZONE_TARGET_KINDS = frozenset({KIND_ZONE_GPA_KILL, KIND_ZONE_GPA_RESTART})
 
 
 class ScheduleError(ValueError):
@@ -78,6 +85,8 @@ class FaultEvent:
             raise ScheduleError("jitter must be >= 0")
         if self.kind in _NODE_TARGET_KINDS and not self.target:
             raise ScheduleError("{} requires a target node".format(self.kind))
+        if self.kind in _ZONE_TARGET_KINDS and not self.target:
+            raise ScheduleError("{} requires a target zone".format(self.kind))
         if self.kind == KIND_PARTITION:
             groups = self.params.get("groups")
             if not groups or not all(group for group in groups):
@@ -159,6 +168,20 @@ class FaultSchedule:
     def gpa_outage(self, start, duration, jitter=0.0):
         self.kill_gpa(start, jitter=jitter)
         return self.restart_gpa(start + duration, jitter=jitter)
+
+    # -- zone GPA faults (federated installs) ----------------------------
+
+    def kill_zone_gpa(self, at, zone, jitter=0.0):
+        return self.add(at, KIND_ZONE_GPA_KILL, target=zone, jitter=jitter)
+
+    def restart_zone_gpa(self, at, zone, jitter=0.0):
+        return self.add(at, KIND_ZONE_GPA_RESTART, target=zone, jitter=jitter)
+
+    def zone_outage(self, start, duration, zone, jitter=0.0):
+        """Kill one zone's aggregation tier for ``duration`` seconds; the
+        parent tier should see only that zone's pseudo-node go stale."""
+        self.kill_zone_gpa(start, zone, jitter=jitter)
+        return self.restart_zone_gpa(start + duration, zone, jitter=jitter)
 
     # -- whole-node crash ------------------------------------------------
 

@@ -6,11 +6,16 @@ from repro.netsim.switch import Switch
 
 
 class Fabric:
-    """The LAN connecting a cluster's nodes through one switch.
+    """The LAN connecting a cluster's nodes.
 
-    Responsible for IP assignment and NIC creation.  Experiments ask the
-    fabric for link statistics (utilization, queueing) to report network
-    health alongside SysProf's own measurements.
+    The default shape is a single switch (the original flat LAN).  For
+    spine/leaf clusters, :meth:`add_switch` stamps out leaf switches
+    trunked to the root switch (which then plays the spine role), and
+    :meth:`create_nic` takes a ``switch=`` argument to place a NIC behind
+    a specific leaf.  Responsible for IP assignment and NIC creation.
+    Experiments ask the fabric for link statistics (utilization,
+    queueing) to report network health alongside SysProf's own
+    measurements.
     """
 
     def __init__(self, sim, bandwidth_bps=1_000_000_000, latency=50e-6,
@@ -19,46 +24,121 @@ class Fabric:
         self.name = name
         self.bandwidth_bps = bandwidth_bps
         self.latency = latency
+        self.loss_rate = loss_rate
+        self._rng = rng
         self.switch = Switch(
             sim, bandwidth_bps, latency, loss_rate=loss_rate, rng=rng,
             name="{}-sw".format(name),
         )
+        self.switches = {self.switch.name: self.switch}
         self._next_host = 1
         self.nics = {}
+        self._switch_of = {}  # ip -> the switch its NIC hangs off
 
     def allocate_ip(self):
         ip = "10.0.0.{}".format(self._next_host)
         self._next_host += 1
         return ip
 
-    def create_nic(self, ip=None, bandwidth_bps=None, latency=None):
-        """Create a NIC, attach it to the switch, and return it."""
+    def add_switch(self, name, bandwidth_bps=None, latency=None,
+                   forward_delay=None, uplink_to=None, trunk_latency=None):
+        """Create a leaf switch trunked up to ``uplink_to`` (default: root).
+
+        Returns the new switch; pass it to :meth:`create_nic` via
+        ``switch=`` to place NICs behind it.
+        """
+        if name in self.switches:
+            raise ValueError("duplicate switch name: {}".format(name))
+        parent = uplink_to or self.switch
+        sw = Switch(
+            self.sim,
+            bandwidth_bps or self.bandwidth_bps,
+            self.latency if latency is None else latency,
+            forward_delay=(self.switch.forward_delay
+                           if forward_delay is None else forward_delay),
+            loss_rate=self.loss_rate, rng=self._rng, name=name,
+        )
+        sw.connect(parent, bandwidth_bps=bandwidth_bps,
+                   latency=trunk_latency, uplink=True)
+        self.switches[name] = sw
+        return sw
+
+    def create_nic(self, ip=None, bandwidth_bps=None, latency=None, switch=None):
+        """Create a NIC, attach it to a switch, and return it."""
         ip = ip or self.allocate_ip()
         if ip in self.nics:
             raise ValueError("duplicate IP on fabric: {}".format(ip))
+        sw = switch or self.switch
         nic = Nic(self.sim, ip)
-        self.switch.attach(nic, bandwidth_bps=bandwidth_bps, latency=latency)
+        sw.attach(nic, bandwidth_bps=bandwidth_bps, latency=latency)
         self.nics[ip] = nic
+        self._switch_of[ip] = sw
         return nic
+
+    def switch_of(self, ip):
+        """The switch whose port serves ``ip`` (root switch if unknown)."""
+        return self._switch_of.get(ip, self.switch)
 
     def address(self, ip, port):
         return Address(ip, port)
+
+    def path_latency(self, src_ip, dst_ip):
+        """One-way propagation + forwarding latency between two IPs.
+
+        For a flat fabric this is the classic ``2·latency + forward_delay``
+        (NIC→switch, switch forward, switch→NIC).  Across a switch tree it
+        sums each hop's trunk latency and per-switch forwarding delay up
+        to the lowest common ancestor and back down.
+        """
+        s_src = self.switch_of(src_ip)
+        s_dst = self.switch_of(dst_ip)
+        if s_src is s_dst:
+            return 2.0 * s_src.latency + s_src.forward_delay
+        chain_src = [s_src]
+        sw = s_src
+        while sw.parent is not None:
+            sw = sw.parent
+            chain_src.append(sw)
+        chain_dst = [s_dst]
+        sw = s_dst
+        while sw.parent is not None:
+            sw = sw.parent
+            chain_dst.append(sw)
+        depth_src = {id(s): i for i, s in enumerate(chain_src)}
+        lca_down = next(
+            (i for i, s in enumerate(chain_dst) if id(s) in depth_src), None)
+        if lca_down is None:
+            raise ValueError("no path between {} and {}".format(src_ip, dst_ip))
+        lca = chain_dst[lca_down]
+        lca_up = depth_src[id(lca)]
+        total = s_src.latency + s_dst.latency + lca.forward_delay
+        for sw in chain_src[:lca_up]:
+            total += sw.forward_delay + sw.uplink_latency
+        for sw in chain_dst[:lca_down]:
+            total += sw.forward_delay + sw.uplink_latency
+        return total
 
     # -- failure injection hooks ----------------------------------------
 
     def set_link_admin(self, ip, up):
         """Raise/lower both directions of the port serving ``ip``."""
-        self.switch.set_port_admin(ip, up)
+        self.switch_of(ip).set_port_admin(ip, up)
 
     def link_admin(self, ip):
-        return self.switch.port_admin(ip)
+        return self.switch_of(ip).port_admin(ip)
 
     def partition(self, *groups):
-        """Partition the switch into isolated IP groups; see Switch.partition."""
-        self.switch.partition(*groups)
+        """Partition the fabric into isolated IP groups; see Switch.partition.
+
+        The mapping is applied to every switch so cross-group packets are
+        dropped at the first hop regardless of which leaf they enter.
+        """
+        for sw in self.switches.values():
+            sw.partition(*groups)
 
     def heal(self):
-        self.switch.heal()
+        for sw in self.switches.values():
+            sw.heal()
 
     def reachable(self, src_ip, dst_ip):
         """Whether a packet from ``src_ip`` can currently reach ``dst_ip``.
@@ -72,14 +152,20 @@ class Fabric:
         if self.switch.crosses_partition(src_ip, dst_ip):
             return False
         for ip in (src_ip, dst_ip):
-            if ip in self.nics and not self.switch.port_admin(ip):
+            if ip in self.nics and not self.switch_of(ip).port_admin(ip):
                 return False
         return True
 
     def stats(self):
+        forwarded = sum(sw.forwarded for sw in self.switches.values())
+        unroutable = sum(sw.unroutable for sw in self.switches.values())
+        dropped = sum(sw.partition_dropped for sw in self.switches.values())
         return {
-            "forwarded": self.switch.forwarded,
-            "unroutable": self.switch.unroutable,
-            "partition_dropped": self.switch.partition_dropped,
-            "ports": {ip: self.switch.port_stats(ip) for ip in self.nics},
+            "forwarded": forwarded,
+            "unroutable": unroutable,
+            "partition_dropped": dropped,
+            "switches": len(self.switches),
+            "ports": {
+                ip: self._switch_of[ip].port_stats(ip) for ip in self.nics
+            },
         }

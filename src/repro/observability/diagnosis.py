@@ -144,23 +144,75 @@ class DiagnosisEngine:
         # cycle through a partially-initialized core package.
         from repro.analysis.bottleneck import find_bottleneck
 
-        candidates = (
-            [rule.node] if rule.node else sorted(self.sysprof.monitors)
-        )
         since = now - self.blame_window
-        report = find_bottleneck(self.gpa, candidates, since=since)
-        if report.bottleneck in ("", "unknown"):
-            # No fine-grained records in the window (e.g. class-granularity
-            # nodes); fall back to the whole history.
-            report = find_bottleneck(self.gpa, candidates)
+        federation = self.sysprof.federation
+        if rule.node:
+            tier = self._query_tier(rule.node)
+            report = self._ranked(find_bottleneck, tier, [rule.node], since)
+            path = []
+        elif federation is not None and federation.zones:
+            report, path = self._federated_descent(find_bottleneck, since)
+        else:
+            candidates = sorted(self.sysprof.monitors)
+            report = self._ranked(find_bottleneck, self.gpa, candidates, since)
+            path = []
         diagnosis = next(
             (d for d in report.nodes if d.node == report.bottleneck), None
         )
-        return {
+        blame = {
             "node": report.bottleneck if diagnosis else None,
             "stage": diagnosis.dominant_component if diagnosis else None,
             "reason": report.reason,
         }
+        if path:
+            blame["path"] = path
+        return blame
+
+    @staticmethod
+    def _ranked(find_bottleneck, tier, candidates, since):
+        report = find_bottleneck(tier, candidates, since=since)
+        if report.bottleneck in ("", "unknown"):
+            # No fine-grained records in the window (e.g. class-granularity
+            # nodes); fall back to the whole history.
+            report = find_bottleneck(tier, candidates)
+        return report
+
+    def _query_tier(self, node):
+        """The tier holding raw records for ``node``: its zone GPA when
+        federated (the root only sees condensed rollups), else the root."""
+        federation = self.sysprof.federation
+        if federation is not None:
+            zone_gpa = federation.locate_member(node)
+            if zone_gpa is not None:
+                return zone_gpa
+        return self.gpa
+
+    def _federated_descent(self, find_bottleneck, since):
+        """Walk blame down the federation tree, root to leaf.
+
+        Rank the root's direct children (zone pseudo-nodes, via their
+        condensed class summaries); while the winner is a zone, descend
+        into that zone GPA's store and rank its members plus nested
+        zones.  Terminates at a real node two or more tiers below the
+        root with its per-interaction stage breakdown intact.
+        """
+        from repro.core.federation import ZONE_NODE_PREFIX
+
+        federation = self.sysprof.federation
+        tier = self.gpa
+        candidates = federation.root_candidates()
+        path = []
+        while True:
+            report = self._ranked(find_bottleneck, tier, candidates, since)
+            winner = report.bottleneck
+            zone = winner[len(ZONE_NODE_PREFIX):]
+            if not winner.startswith(ZONE_NODE_PREFIX) or zone not in federation.zones:
+                return report, path
+            path.append(winner)
+            tier = federation.zones[zone]
+            candidates = list(tier.members) + [
+                ZONE_NODE_PREFIX + child for child in tier.children
+            ]
 
     # ------------------------------------------------------------------
     # closed-loop drill-down

@@ -35,6 +35,8 @@ _GAUGE_FIELDS = frozenset((
     "queued", "depth", "offset",
     "eviction_interval", "stale_threshold", "sketches", "sketch_series",
     "series", "rules", "active_alerts", "clients",
+    # federation / topology levels
+    "switches", "racks", "nodes", "rack_gpas", "zones",
     # simulator engine levels (sysprof.sim.*)
     "delivery_depth", "lane_depth_interrupt", "lane_depth_normal",
     "lane_depth_low", "pool_size", "store_size", "store_slots",
@@ -212,6 +214,17 @@ def build_registry(sysprof):
             help="seconds of telemetry silence before a node is suspect",
             fn=lambda gpa=sysprof.gpa: gpa.stale_threshold,
         )
+    if sysprof.federation is not None:
+        for zone_gpa in sysprof.federation.all_zones():
+            zone_kernel = zone_gpa.node.kernel
+            if zone_kernel not in kernels:
+                kernels.append(zone_kernel)
+            registry.register_source(
+                "sysprof.zone.{}".format(zone_gpa.zone), zone_gpa.stats
+            )
+    topology = getattr(sysprof.cluster, "topology", None)
+    if topology is not None and hasattr(topology, "stats"):
+        registry.register_source("sysprof.topology", topology.stats)
     clock_table = sysprof.clock_table
     if clock_table is not None:
         for node_name in sorted(getattr(clock_table, "_offsets", {})):

@@ -239,7 +239,7 @@ class Kernel:
 
     def one_way_latency(self, remote_kernel):
         if self.cluster is not None:
-            return self.cluster.one_way_latency()
+            return self.cluster.one_way_latency(self.ip, remote_kernel.ip)
         return 50e-6
 
     # ------------------------------------------------------------------

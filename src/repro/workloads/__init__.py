@@ -8,6 +8,11 @@ from repro.workloads.httperf import HttperfConfig, HttperfStats, spawn_httperf
 from repro.workloads.iozone import IozoneConfig, IozoneResults, spawn_iozone
 from repro.workloads.iperf import IperfResult, IperfRun, run_iperf
 from repro.workloads.linpack import LinpackResult, spawn_linpack
+from repro.workloads.synthetic import (
+    SyntheticClassLPA,
+    SyntheticSketchLPA,
+    install_synthetic_load,
+)
 
 __all__ = [
     "HttperfConfig",
@@ -17,6 +22,9 @@ __all__ = [
     "IperfResult",
     "IperfRun",
     "LinpackResult",
+    "SyntheticClassLPA",
+    "SyntheticSketchLPA",
+    "install_synthetic_load",
     "run_iperf",
     "spawn_httperf",
     "spawn_iozone",

@@ -1,0 +1,53 @@
+"""Rack/spine-leaf builders: batched node construction and lookups."""
+
+import pytest
+
+from repro.cluster import Cluster, RackBuilder, build_spine_leaf
+
+
+def test_rack_builder_stamps_nodes_behind_leaf():
+    cluster = Cluster(seed=2)
+    spec = RackBuilder(cluster, "ra").build(3)
+    assert spec.nodes == ["ran0", "ran1", "ran2"]
+    assert spec.gpa_node == "ragpa"
+    assert spec.switch_name == "ra-leaf"
+    leaf = cluster.fabric.switches["ra-leaf"]
+    for name in spec.nodes + [spec.gpa_node]:
+        assert cluster.fabric.switch_of(cluster.node(name).ip) is leaf
+
+
+def test_add_nodes_matches_individual_adds():
+    batched = Cluster(seed=7)
+    batched.add_nodes(["a", "b", "c"])
+    serial = Cluster(seed=7)
+    for name in ("a", "b", "c"):
+        serial.add_node(name)
+    assert list(batched.nodes) == list(serial.nodes)
+    for name in ("a", "b", "c"):
+        assert batched.node(name).ip == serial.node(name).ip
+
+
+def test_build_spine_leaf_shape_and_lookup():
+    cluster = Cluster(seed=3)
+    topology = build_spine_leaf(cluster, racks=3, nodes_per_rack=2)
+    assert len(topology.racks) == 3
+    assert len(topology.node_names) == 6
+    assert topology.mgmt_node == "mgmt"
+    assert cluster.topology is topology
+    rack = topology.rack_of("r1n0")
+    assert rack.name == "r1"
+    assert topology.rack_of("r2gpa").name == "r2"
+    with pytest.raises(KeyError):
+        topology.rack_of("nope")
+    stats = topology.stats()
+    assert stats == {"racks": 3, "nodes": 6, "rack_gpas": 3, "switches": 4}
+
+
+def test_build_spine_leaf_without_rack_gpas():
+    cluster = Cluster(seed=3)
+    topology = build_spine_leaf(
+        cluster, racks=2, nodes_per_rack=2, with_rack_gpa=False, mgmt_node=""
+    )
+    assert topology.mgmt_node == ""
+    assert all(not rack.gpa_node for rack in topology.racks)
+    assert topology.stats()["rack_gpas"] == 0

@@ -1,0 +1,188 @@
+"""Zone GPAs: condensation, forwarding, restart, and isolation."""
+
+import pytest
+
+from repro.cluster import Cluster, build_spine_leaf
+from repro.core import SysProf, SysProfConfig, ZoneGpa, ZoneSpec
+from repro.core.channels import ChannelHub
+from repro.workloads.synthetic import install_synthetic_load
+
+
+def build_federated(seed=13, racks=2, per=2, eviction_interval=0.1,
+                    forward_interval=0.25, stale_threshold=1.0,
+                    synthetic=True):
+    """Small spine/leaf cluster with one zone per rack and a root GPA."""
+    cluster = Cluster(seed=seed)
+    topology = build_spine_leaf(
+        cluster, racks=racks, nodes_per_rack=per, mgmt_node="mgmt"
+    )
+    sysprof = SysProf(
+        cluster,
+        SysProfConfig(
+            eviction_interval=eviction_interval,
+            forward_interval=forward_interval,
+            stale_threshold=stale_threshold,
+        ),
+    )
+    specs = [
+        ZoneSpec(name=rack.name, gpa_node=rack.gpa_node,
+                 members=list(rack.nodes))
+        for rack in topology.racks
+    ]
+    sysprof.install(zones=specs, gpa_node="mgmt")
+    if synthetic:
+        install_synthetic_load(sysprof, samples_per_window=8)
+    sysprof.start()
+    return cluster, sysprof
+
+
+def test_zone_condenses_member_frames_for_root():
+    cluster, sysprof = build_federated()
+    cluster.run(until=2.0)
+    zone = sysprof.federation.zone("r0")
+    # Members' frames terminated at the zone, not the root.
+    assert zone.records_received > 0
+    assert sorted(zone.store.node_stats) == ["r0n0", "r0n1"]
+    assert zone.forwards > 0
+    assert zone.rows_forwarded > 0
+    gpa = sysprof.gpa
+    # The root sees only zone pseudo-nodes, each with merged sketches.
+    assert sorted(gpa.node_stats) == ["zone:r0", "zone:r1"]
+    assert gpa.decode_errors == 0
+    merged = gpa.sketches.merged(request_class="rpc", metric="latency")
+    assert merged.count > 0
+    nodes = {key[0] for key in gpa.sketches.series}
+    assert nodes == {"zone:r0", "zone:r1"}
+    # Condensation: far fewer rows reach the root than entered the zones.
+    zone_in = sum(z.records_received for z in sysprof.federation.all_zones())
+    assert gpa.records_received < zone_in
+    assert not gpa.stale_nodes(cluster.sim.now)
+
+
+def test_zone_summary_rollup_is_count_weighted():
+    cluster, sysprof = build_federated()
+    cluster.run(until=2.0)
+    gpa = sysprof.gpa
+    rows = [r for r in gpa.class_summaries if r["node"] == "zone:r0"]
+    assert rows
+    zone = sysprof.federation.zone("r0")
+    member_rows = [r for r in zone.class_summaries if r["node"].startswith("r0")]
+    member_total = sum(r["count"] for r in member_rows)
+    root_total = sum(r["count"] for r in rows)
+    # The root trails the zone by at most the pending (unforwarded) window.
+    assert 0 < root_total <= member_total
+    pending = sum(
+        acc["count"] for acc in zone._pending_classes.values()
+    )
+    assert root_total + pending == member_total
+    # Count-weighted latency roll-up: the merged mean lies inside the
+    # members' span.
+    means = [r["mean_latency"] for r in member_rows]
+    merged_mean = (
+        sum(r["count"] * r["mean_latency"] for r in rows) / root_total
+    )
+    assert min(means) <= merged_mean <= max(means)
+
+
+def test_zone_restart_resends_descriptors_both_tiers():
+    """Satellite regression: killing a zone GPA must not wedge either
+    side — member daemons re-send format descriptors to the reborn zone
+    (its ingest registry died with it), and the zone's own publisher
+    re-sends descriptors to the root on its fresh connection."""
+    cluster, sysprof = build_federated()
+    cluster.run(until=1.5)
+    zone = sysprof.federation.zone("r0")
+    gpa = sysprof.gpa
+    daemon = sysprof.monitor("r0n0").daemon
+    daemon_sends_before = daemon.format_sends
+    zone_sends_before = zone.publisher.stats()["format_sends"]
+    root_records_before = gpa.records_received
+    zone.kill("test")
+    cluster.run(until=2.5)
+    zone.restart()
+    cluster.run(until=5.0)
+    assert zone.restarts == 1
+    # Members reconnected and re-sent descriptors; the fresh registry
+    # decoded everything.
+    assert daemon.format_sends > daemon_sends_before
+    assert zone.decode_errors == 0
+    assert sorted(zone.store.node_stats) == ["r0n0", "r0n1"]
+    # The zone's upward publisher re-sent descriptors too, and the root
+    # kept decoding its rows.
+    assert zone.publisher.stats()["format_sends"] > zone_sends_before
+    assert gpa.decode_errors == 0
+    assert gpa.records_received > root_records_before
+    assert not gpa.stale_nodes(cluster.sim.now)
+
+
+def test_zone_kill_degrades_only_that_zone():
+    cluster, sysprof = build_federated()
+    cluster.run(until=2.0)
+    sysprof.federation.zone("r0").kill("test")
+    cluster.run(until=4.5)
+    stale = sysprof.gpa.stale_nodes(cluster.sim.now)
+    assert set(stale) == {"zone:r0"}
+    # The dead zone's own members are invisible to the root either way;
+    # the surviving zone keeps reporting.
+    assert "zone:r1" not in stale
+
+
+def test_nested_zones_forward_through_parent():
+    cluster = Cluster(seed=9)
+    for name in ("leafa", "leafb", "mid", "top", "mgmt"):
+        cluster.add_node(name)
+    sysprof = SysProf(
+        cluster,
+        SysProfConfig(eviction_interval=0.1, forward_interval=0.2),
+    )
+    spec = ZoneSpec(
+        name="super", gpa_node="top", members=[],
+        children=[ZoneSpec(name="inner", gpa_node="mid",
+                           members=["leafa", "leafb"])],
+    )
+    sysprof.install(zones=[spec], gpa_node="mgmt")
+    install_synthetic_load(sysprof, samples_per_window=4)
+    sysprof.start()
+    cluster.run(until=2.0)
+    inner = sysprof.federation.zone("inner")
+    top = sysprof.federation.zone("super")
+    assert sorted(inner.store.node_stats) == ["leafa", "leafb"]
+    assert sorted(top.store.node_stats) == ["zone:inner"]
+    assert sorted(sysprof.gpa.node_stats) == ["zone:super"]
+    assert sysprof.gpa.decode_errors == 0
+    assert top.children == ["inner"]
+    assert sysprof.federation.root_candidates() == ["zone:super"]
+    assert sysprof.federation.top_level() == [top]
+
+
+def test_federation_tree_lookups():
+    _, sysprof = build_federated()
+    federation = sysprof.federation
+    assert sorted(z.zone for z in federation.all_zones()) == ["r0", "r1"]
+    assert sorted(federation.root_candidates()) == ["zone:r0", "zone:r1"]
+    assert federation.locate_member("r1n1").zone == "r1"
+    assert federation.locate_member("mgmt") is None
+    with pytest.raises(ValueError):
+        federation.add(federation.zone("r0"))
+
+
+def test_zone_name_must_fit_str16():
+    cluster = Cluster(seed=1)
+    cluster.add_node("a")
+    hub = ChannelHub()
+    with pytest.raises(ValueError):
+        ZoneGpa("a-very-long-zone-name", cluster.node("a"), hub)
+
+
+def test_zone_stats_expose_tier_counters():
+    cluster, sysprof = build_federated()
+    cluster.run(until=2.0)
+    stats = sysprof.federation.zone("r0").stats()
+    for key in ("records_received", "ingress_bytes", "sketch_merges",
+                "forwards", "rows_forwarded", "bytes_published",
+                "format_sends", "restarts"):
+        assert key in stats
+    assert stats["ingress_bytes"] > 0
+    assert stats["bytes_published"] > 0
+    # The root tier reports its ingress too (the bench's numerator).
+    assert sysprof.gpa.stats()["ingress_bytes"] > 0

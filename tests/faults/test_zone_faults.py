@@ -1,0 +1,70 @@
+"""Zone-GPA fault kinds: schedule wiring and end-to-end injection."""
+
+import pytest
+
+from repro.faults import FaultInjector, FaultSchedule, ScheduleError
+from repro.sim import SimError
+from tests.core.test_federation import build_federated
+
+
+def test_zone_builders_and_roundtrip():
+    schedule = (
+        FaultSchedule()
+        .kill_zone_gpa(2.0, "r0")
+        .restart_zone_gpa(4.0, "r0")
+        .zone_outage(6.0, 1.5, "r1", jitter=0.1)
+    )
+    kinds = [(event.at, event.kind, event.target) for event in schedule.events()]
+    assert kinds == [
+        (2.0, "zone_gpa_kill", "r0"),
+        (4.0, "zone_gpa_restart", "r0"),
+        (6.0, "zone_gpa_kill", "r1"),
+        (7.5, "zone_gpa_restart", "r1"),
+    ]
+    clone = FaultSchedule.from_dict(schedule.to_dict())
+    assert clone.to_dict() == schedule.to_dict()
+
+
+def test_zone_kinds_require_target():
+    with pytest.raises(ScheduleError):
+        FaultSchedule().add(1.0, "zone_gpa_kill")
+    with pytest.raises(ScheduleError):
+        FaultSchedule().add(1.0, "zone_gpa_restart")
+
+
+def test_zone_fault_without_federation_is_an_error():
+    from repro.cluster import Cluster
+    from repro.core import SysProf, SysProfConfig
+
+    cluster = Cluster(seed=4)
+    cluster.add_node("a")
+    cluster.add_node("mgmt")
+    sysprof = SysProf(cluster, SysProfConfig(eviction_interval=0.1))
+    sysprof.install(monitored=["a"], gpa_node="mgmt")
+    sysprof.start()
+    injector = FaultInjector(cluster, sysprof=sysprof)
+    injector.arm(FaultSchedule().kill_zone_gpa(0.5, "r0"))
+    with pytest.raises(SimError):
+        cluster.run(until=1.0)
+
+
+def test_unknown_zone_is_an_error():
+    cluster, sysprof = build_federated()
+    injector = FaultInjector(cluster, sysprof=sysprof)
+    injector.arm(FaultSchedule().kill_zone_gpa(0.5, "nosuchzone"))
+    with pytest.raises(SimError):
+        cluster.run(until=1.0)
+
+
+def test_zone_outage_degrades_then_recovers():
+    cluster, sysprof = build_federated()
+    injector = FaultInjector(cluster, sysprof=sysprof)
+    injector.arm(FaultSchedule().zone_outage(1.5, 1.5, "r0"))
+    cluster.run(until=2.8)
+    # Mid-outage: only the killed zone is stale at the root.
+    assert set(sysprof.gpa.stale_nodes(cluster.sim.now)) == {"zone:r0"}
+    cluster.run(until=6.0)
+    # Post-restart: the zone caught up and the root is whole again.
+    assert not sysprof.gpa.stale_nodes(cluster.sim.now)
+    assert sysprof.federation.zone("r0").restarts == 1
+    assert injector.stats()["fired"] == 2

@@ -1,0 +1,131 @@
+"""Spine/leaf fabric: multi-switch routing, latency, and partitions."""
+
+import pytest
+
+from repro.cluster import Cluster, build_spine_leaf
+from repro.netsim.packet import Address, Packet
+
+
+def _echo(ctx, port=9000):
+    lsock = yield from ctx.listen(port)
+    sock = yield from ctx.accept(lsock)
+    while True:
+        message = yield from ctx.recv_message(sock)
+        if message is None:
+            break
+        yield from ctx.send_message(sock, 500, kind="reply")
+
+
+def _client(ctx, server, replies, port=9000, count=3):
+    sock = yield from ctx.connect(server, port)
+    for _ in range(count):
+        yield from ctx.send_message(sock, 1000)
+        reply = yield from ctx.recv_message(sock)
+        replies.append(reply.size)
+    yield from ctx.close(sock)
+
+
+def _build(racks=2, per=2):
+    cluster = Cluster(seed=5)
+    topology = build_spine_leaf(
+        cluster, racks=racks, nodes_per_rack=per, with_rack_gpa=False,
+        mgmt_node="mgmt",
+    )
+    return cluster, topology
+
+
+def test_cross_rack_traffic_routes_through_spine():
+    cluster, _ = _build()
+    replies = []
+    cluster.node("r1n0").spawn("srv", _echo)
+    cluster.node("r0n0").spawn("cli", _client, "r1n0", replies)
+    cluster.run(until=2.0)
+    assert replies == [500, 500, 500]
+    fabric = cluster.fabric
+    # Leaf switches and the spine all forwarded; nothing was unroutable.
+    assert fabric.switches["r0-leaf"].forwarded > 0
+    assert fabric.switches["r1-leaf"].forwarded > 0
+    assert fabric.switch.forwarded > 0
+    assert fabric.stats()["unroutable"] == 0
+
+
+def test_same_rack_traffic_stays_on_the_leaf():
+    cluster, _ = _build()
+    replies = []
+    cluster.node("r0n1").spawn("srv", _echo)
+    cluster.node("r0n0").spawn("cli", _client, "r0n1", replies)
+    cluster.run(until=2.0)
+    assert replies == [500, 500, 500]
+    assert cluster.fabric.switch.forwarded == 0  # spine never touched
+
+
+def test_same_switch_path_latency_matches_flat_constant():
+    """Flat clusters must keep the exact pre-federation RTT (digest
+    compatibility): same-switch path latency is 2*latency + forward_delay."""
+    flat = Cluster(seed=1)
+    flat.add_node("a")
+    flat.add_node("b")
+    fabric = flat.fabric
+    expected = 2.0 * fabric.latency + fabric.switch.forward_delay
+    assert flat.one_way_latency(flat.node("a").ip, flat.node("b").ip) == expected
+    assert flat.one_way_latency() == expected
+
+
+def test_cross_rack_latency_exceeds_same_rack():
+    cluster, _ = _build()
+    same = cluster.one_way_latency(
+        cluster.node("r0n0").ip, cluster.node("r0n1").ip
+    )
+    cross = cluster.one_way_latency(
+        cluster.node("r0n0").ip, cluster.node("r1n0").ip
+    )
+    to_mgmt = cluster.one_way_latency(
+        cluster.node("r0n0").ip, cluster.node("mgmt").ip
+    )
+    assert cross > same
+    assert to_mgmt > same
+    assert cross > to_mgmt  # two leaf hops vs one
+
+
+def test_partition_applies_across_all_switches():
+    cluster, topology = _build()
+    r0 = [cluster.node(name).ip for name in topology.racks[0].nodes]
+    r1 = [cluster.node(name).ip for name in topology.racks[1].nodes]
+    cluster.fabric.partition(r0, r1)
+    assert not cluster.fabric.reachable(r0[0], r1[0])
+    assert cluster.fabric.reachable(r0[0], r0[1])
+    # mgmt is in no group: it still sees both sides.
+    assert cluster.fabric.reachable(cluster.node("mgmt").ip, r0[0])
+    assert cluster.fabric.reachable(cluster.node("mgmt").ip, r1[0])
+    cluster.fabric.heal()
+    assert cluster.fabric.reachable(r0[0], r1[0])
+
+
+def test_unroutable_packet_is_counted_not_delivered():
+    cluster, _ = _build()
+    spine = cluster.fabric.switch
+    before = spine.unroutable
+    packet = Packet(Address("10.9.9.1", 1), Address("10.9.9.2", 2), 64)
+    spine._forward(packet)
+    assert spine.unroutable == before + 1
+
+
+def test_second_uplink_rejected():
+    cluster, _ = _build()
+    leaf = cluster.fabric.switches["r0-leaf"]
+    with pytest.raises(ValueError):
+        leaf.connect(cluster.fabric.switches["r1-leaf"], uplink=True)
+
+
+def test_fabric_stats_aggregate_switches():
+    cluster, _ = _build()
+    replies = []
+    cluster.node("r1n0").spawn("srv", _echo)
+    cluster.node("r0n0").spawn("cli", _client, "r1n0", replies)
+    cluster.run(until=2.0)
+    stats = cluster.fabric.stats()
+    assert stats["switches"] == 3  # spine + 2 leaves
+    total = sum(
+        sw.forwarded for sw in cluster.fabric.switches.values()
+    )
+    assert stats["forwarded"] == total

@@ -29,6 +29,8 @@ REGISTERED = {
     "SketchLPA",
     "CustomAnalyzer",             # via monitor.all_lpas() once installed
     "GlobalPerformanceAnalyzer",  # sysprof.gpa.<node>
+    "ZoneGpa",                    # sysprof.zone.<zone>
+    "RackTopology",               # sysprof.topology
     "Fabric",                     # sysprof.netsim
     "DiagnosisEngine",            # sysprof.diagnosis (self-registers)
     "FaultInjector",              # sysprof.faults (self-registers)
@@ -44,6 +46,7 @@ INDIRECT = {
     "SketchStore",     # gpa.stats() exposes sketch_rows / sketch_series
     "CalendarQueue",   # Simulator.stats() folds store_* counters
     "HeapStore",       # Simulator.stats() folds store_* counters
+    "ChannelPublisher",  # daemon.stats() / zone_gpa.stats() flatten its counters
 }
 
 # Not monitoring-plane components: application/workload objects whose
@@ -118,3 +121,25 @@ def test_registered_components_have_live_prefixes():
         "sysprof.runner",
     ):
         assert expected in prefixes, expected
+
+
+def test_federated_install_registers_zone_and_topology_prefixes():
+    """Zone GPAs and the rack topology surface in /proc/sysprof/metrics."""
+    from tests.core.test_federation import build_federated
+
+    cluster, sysprof = build_federated()
+    cluster.run(until=2.0)
+    prefixes = sysprof.metrics.source_prefixes()
+    for expected in (
+        "sysprof.zone.r0",
+        "sysprof.zone.r1",
+        "sysprof.topology",
+        "sysprof.gpa.mgmt",
+    ):
+        assert expected in prefixes, expected
+    text = sysprof.metrics.render()
+    # Per-tier ingress bytes and merge counters are in the exposition.
+    assert "sysprof.zone.r0.ingress_bytes" in text
+    assert "sysprof.zone.r0.sketch_merges" in text
+    assert "sysprof.gpa.mgmt.ingress_bytes" in text
+    assert "sysprof.topology.racks" in text
