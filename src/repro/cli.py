@@ -294,11 +294,48 @@ def _cmd_federation(args):
         BENCH_PATH,
         BENCH_SCHEMA,
         FederationConfig,
+        partition_payload,
         record_trajectory,
         run_federation_sweep,
+        run_partition_sweep,
         smoke_config,
         sweep_payload,
     )
+
+    if args.partition:
+        base = smoke_config(nodes=args.nodes or 16, zones=args.zones or 2)
+        if not args.smoke:
+            base.nodes = args.nodes or 64
+            base.zones = args.zones or 0
+        sweep = run_partition_sweep(base_config=base)
+        print(format_table(
+            ("scenario", "zone", "detect s", "return s", "gap s",
+             "stale max/bound", "rows lost", "rep/esc/ret"),
+            [point.row() for point in sweep["points"]],
+            title="federation partition tolerance: reparent + retention",
+        ))
+        healthy = True
+        for point in sweep["points"]:
+            verdict = []
+            if not point.staleness_bounded:
+                verdict.append("member staleness exceeds the failover bound")
+            if point.rows_lost:
+                verdict.append("{} condensed rows lost".format(point.rows_lost))
+            if verdict:
+                healthy = False
+                print("{}: FAIL — {}".format(point.scenario, "; ".join(verdict)))
+            else:
+                print("{}: staleness bounded by failover latency "
+                      "({:.2f}s <= {:.2f}s), zero rows lost".format(
+                          point.scenario, point.member_staleness_max_s,
+                          point.member_staleness_bound_s))
+        if not args.no_record:
+            record_trajectory(
+                BENCH_PATH, BENCH_SCHEMA,
+                {"partition": partition_payload(sweep)},
+            )
+            print("appended trajectory entry to {}".format(BENCH_PATH))
+        return 0 if healthy else 1
 
     if args.smoke:
         base = smoke_config(nodes=args.nodes or 16, zones=args.zones or 2)
@@ -415,6 +452,10 @@ def build_parser():
                             help="zone count (default: ~sqrt(nodes))")
     federation.add_argument("--smoke", action="store_true",
                             help="tiny 16-node/2-zone run (CI-sized)")
+    federation.add_argument("--partition", action="store_true",
+                            help="partition-tolerance sweep: cut a zone off "
+                                 "from its parent tier and measure reparent "
+                                 "latency, coverage gap, and rows lost")
     federation.add_argument("--no-record", action="store_true",
                             help="skip appending to BENCH_federation.json")
 

@@ -26,6 +26,7 @@ from repro.core.encoding import (
 from repro.core.events import MonEvent
 from repro.core.federation import (
     FederationTree,
+    ParentLink,
     ZoneGpa,
     ZoneSpec,
     zone_channel_prefix,
@@ -65,6 +66,7 @@ __all__ = [
     "CustomAnalyzer",
     "DisseminationDaemon",
     "FederationTree",
+    "ParentLink",
     "DoubleBuffer",
     "ECodeError",
     "ECodeProgram",

@@ -134,6 +134,11 @@ class DisseminationDaemon:
         return self.publisher.endpoints_abandoned
 
     @property
+    def parent_link(self):
+        """The reparent/return state machine, when federated (else None)."""
+        return self.publisher.parent_link
+
+    @property
     def reconnect_backoff_base(self):
         return self.publisher.reconnect_backoff_base
 
@@ -400,7 +405,7 @@ class DisseminationDaemon:
         return "\n".join(lines) + "\n"
 
     def stats(self):
-        return {
+        result = {
             "records_published": self.records_published,
             "records_filtered": self.records_filtered,
             "bytes_published": self.bytes_published,
@@ -417,6 +422,11 @@ class DisseminationDaemon:
             # then restored.
             "eviction_interval": self.eviction_interval,
         }
+        if self.publisher.parent_link is not None:
+            # Reparent events surface per node as
+            # sysprof.daemon.<node>.parent_link.* metrics.
+            result["parent_link"] = self.publisher.parent_link.stats()
+        return result
 
 
 def _render_lpa(lpa):

@@ -43,6 +43,10 @@ class ChannelPublisher:
         self.reconnect_max_retries = reconnect_max_retries
         self._rng_label = rng_label or "sysprofd.backoff.{}".format(node.name)
         self._pid_fn = pid_fn  # task pid for trace events, when tracing
+        # Optional ParentLink (federation reparenting): notified on every
+        # send outcome and given a chance to probe/fail-over at the top
+        # of each publish cycle.  None for flat installs.
+        self.parent_link = None
         self._sockets = {}  # (node_name, port) -> socket
         # endpoint -> (socket, {format names sent on that socket}).  Keyed
         # by socket *identity*: a reconnected endpoint gets a fresh set,
@@ -95,9 +99,25 @@ class ChannelPublisher:
     # ------------------------------------------------------------------
 
     def publish(self, ctx, fmt, blob, kind, text=False):
-        """Send ``blob`` to every subscriber of ``channel_prefix + fmt.name``."""
-        channel = self.channel_prefix + fmt.name
+        """Send ``blob`` to every subscriber of ``channel_prefix + fmt.name``.
+
+        Returns the number of subscribers the blob actually reached, so
+        callers with retained state (zone rollups) can tell a delivered
+        window from a dropped one.
+        """
+        link = self.parent_link
+        if link is not None:
+            # Zero-yield on the healthy path: lease check + (only while
+            # failed over) the paced return probe toward the primary.
+            yield from link.check(ctx)
+        start_prefix = self.channel_prefix
+        channel = start_prefix + fmt.name
+        delivered = 0
         for endpoint in self.hub.subscribers(channel):
+            if self.channel_prefix != start_prefix:
+                # The parent link reparented mid-publish; the remaining
+                # endpoints belong to the abandoned parent's channel.
+                break
             sock = yield from self._endpoint_socket(ctx, endpoint)
             if sock is None:
                 continue
@@ -117,6 +137,9 @@ class ChannelPublisher:
                 yield from ctx.kcompute(self.node.kernel.costs.daemon_reconnect)
                 self.note_endpoint_failure(endpoint)
                 continue
+            delivered += 1
+            if link is not None:
+                link.note_success(ctx.now)
             self.bytes_published += len(blob)
             self.publishes += 1
             if kind == "sysprof-frame":
@@ -127,6 +150,7 @@ class ChannelPublisher:
                     self._pid_fn() if self._pid_fn else 0,
                     channel, len(blob), kind, ctx.now,
                 )
+        return delivered
 
     def ensure_format_sent(self, ctx, sock, endpoint, fmt):
         sent = self._formats_sent.get(endpoint)
@@ -175,6 +199,8 @@ class ChannelPublisher:
 
     def note_endpoint_failure(self, endpoint):
         """Advance an endpoint's backoff after a failed connect or send."""
+        if self.parent_link is not None:
+            self.parent_link.note_failure(self.node.sim.now)
         state = self._backoff.get(endpoint)
         if state is None:
             state = self._backoff[endpoint] = _EndpointBackoff()
@@ -193,6 +219,17 @@ class ChannelPublisher:
         state.next_attempt_at = self.node.sim.now + delay
         return state
 
+    def adopt_socket(self, endpoint, sock):
+        """Install an externally-established connection (a parent-link
+        return probe) as the live socket for ``endpoint``, with a clean
+        backoff slate and a fresh format-descriptor set."""
+        self.revive_endpoint(endpoint)
+        self.reset_endpoint(endpoint)
+        self._sockets[endpoint] = sock
+        if endpoint in self._connected_before:
+            self.reconnects += 1
+        self._connected_before.add(endpoint)
+
     def _jitter_rng(self):
         """Lazy named substream — creating it only on the first failure
         keeps fault-free runs byte-identical to builds without it."""
@@ -203,7 +240,7 @@ class ChannelPublisher:
     # ------------------------------------------------------------------
 
     def stats(self):
-        return {
+        result = {
             "bytes_published": self.bytes_published,
             "publishes": self.publishes,
             "frames_published": self.frames_published,
@@ -214,3 +251,6 @@ class ChannelPublisher:
             "backoff_skips": self.backoff_skips,
             "endpoints_abandoned": self.endpoints_abandoned,
         }
+        if self.parent_link is not None:
+            result["parent_link"] = self.parent_link.stats()
+        return result

@@ -129,6 +129,11 @@ class TierStore:
             record["start_ref"] = record["start_ts"]
             record["end_ref"] = record["end_ts"]
 
+    def forget_node(self, node):
+        """Drop one node's stats stream (it moved to another tier or
+        crashed); interaction/summary history ages out of the deques."""
+        self.node_stats.pop(node, None)
+
     def clear(self):
         """Drop aggregation state (process death).  ``records_received``
         stays cumulative, standing in for the operator's long-lived view."""
@@ -356,6 +361,11 @@ class AnalyzerTier:
         return self.store.correlate_paths(upstream_node, downstream_nodes,
                                           slack=slack)
 
+    def release_member(self, node):
+        """An adopted member returned to its own parent: stop tracking
+        its node-stats stream so it cannot go ghost-stale here."""
+        self.store.forget_node(node)
+
     # -- wiring ---------------------------------------------------------
 
     def channels(self):
@@ -434,6 +444,14 @@ class AnalyzerTier:
             self._conn_tasks.append(conn_task)
 
     def _handler(self, ctx, sock):
+        # Decode state is connection-scoped.  Every publisher numbers its
+        # format descriptors independently (id 1 is whatever it registered
+        # first), so two streams must never share an id table: a
+        # reparented daemon's descriptors would clobber the ids a zone
+        # uplink already claimed and every later frame on the *other*
+        # stream would decode against the wrong schema.  The tier-level
+        # ``frame_decoder`` stays as the cumulative counter aggregate.
+        decoder = encoding.FrameDecoder()
         while True:
             message = yield from ctx.recv_message(sock)
             if message is None:
@@ -445,13 +463,15 @@ class AnalyzerTier:
             if message.kind == "sysprof-query":
                 yield from self._answer_query(ctx, sock, meta)
             elif message.kind == "sysprof-fmt" and blob:
-                self.frame_decoder.feed_descriptor(blob)
+                decoder.feed_descriptor(blob)
             elif message.kind == "sysprof-frame" and blob:
                 try:
-                    fmt, rows = self.frame_decoder.feed(blob)
+                    fmt, rows = decoder.feed(blob)
                 except (KeyError, ValueError):
                     self.decode_errors += 1
                     continue
+                self.frame_decoder.frames_decoded += 1
+                self.frame_decoder.records_decoded += len(rows)
                 # Small per-record analysis cost at this tier.
                 yield from ctx.compute(self.per_record_cost * len(rows))
                 if fmt.name == "sysprof.sketch":
@@ -465,7 +485,7 @@ class AnalyzerTier:
                 if meta.get("text"):
                     continue  # text ablation payloads are not decoded
                 try:
-                    fmt, records = encoding.decode_records(self.registry, blob)
+                    fmt, records = encoding.decode_records(decoder.registry, blob)
                 except (KeyError, ValueError):
                     self.decode_errors += 1
                     continue

@@ -24,7 +24,14 @@ from repro.core.channels import (
 )
 from repro.core.controller import Controller
 from repro.core.daemon import DisseminationDaemon
-from repro.core.federation import FederationTree, ZoneGpa, ZoneSpec, zone_channel_prefix
+from repro.core.federation import (
+    ROOT_PREFIX,
+    FederationTree,
+    ParentLink,
+    ZoneGpa,
+    ZoneSpec,
+    zone_channel_prefix,
+)
 from repro.core.gpa import GlobalPerformanceAnalyzer
 from repro.core.interactions import pending_interactions
 from repro.core.kprof import Kprof, exclude_port_range
@@ -72,6 +79,18 @@ class SysProfConfig:
     reconnect_backoff_cap: float = 2.0
     reconnect_backoff_jitter: float = 0.25
     reconnect_max_retries: int = 12
+    # Federation reparenting: member daemons and child zones that lose
+    # their parent tier (publish failures past parent_loss_failures, or
+    # a lease timeout) fail over to the zone's standby prefix / the root
+    # and probe their way back with seeded-jitter backoff.
+    reparent: bool = True
+    parent_loss_failures: int = 3
+    # None -> derived per link: 4x the publish interval (eviction
+    # interval for member daemons, forward interval for zone uplinks).
+    parent_lease_timeout: float = None
+    reparent_probe_base: float = 0.5
+    reparent_probe_cap: float = 4.0
+    reparent_probe_jitter: float = 0.5
     extra: dict = field(default_factory=dict)
 
 
@@ -136,7 +155,14 @@ class SysProf:
         if zones:
             self.federation = FederationTree()
             for spec in zones:
-                self._install_zone(spec, parent_prefix="sysprof/")
+                self._install_zone(spec, parent_prefix=ROOT_PREFIX)
+            for zone_gpa in self.federation.all_zones():
+                if zone_gpa.standby and zone_gpa.standby not in self.federation.zones:
+                    raise ValueError(
+                        "zone {!r} names unknown standby zone {!r}".format(
+                            zone_gpa.zone, zone_gpa.standby
+                        )
+                    )
             if monitored is None:
                 monitored = []
         elif monitored is None:
@@ -153,19 +179,29 @@ class SysProf:
                 stale_threshold=self.config.stale_threshold,
             )
             self.gpa.subscribe_all()
+        if self.federation is not None:
+            # The adoption ledger needs the root tier to release
+            # escalated members when they return to their zone.
+            self.federation.root_gpa = self.gpa
         # One registry over every component's stats(), exposed through
         # /proc/sysprof/metrics on each involved node (pull-only).
         self.metrics = build_registry(self)
         return self
 
-    def _install_zone(self, spec, parent_prefix):
-        """Install one zone (and, recursively, its children)."""
+    def _install_zone(self, spec, parent_prefix, parent_standby=None):
+        """Install one zone (and, recursively, its children).
+
+        ``parent_standby`` is the *parent's* standby zone name: this
+        zone's own uplink fails over to it when the parent tier dies,
+        exactly as the zone's members fail over to ``spec.standby``.
+        """
         if isinstance(spec, dict):
             spec = ZoneSpec(**spec)
         config = self.config
         prefix = zone_channel_prefix(spec.name)
         for member in spec.members:
-            self._install_node(self.cluster.node(member), channel_prefix=prefix)
+            self._install_node(self.cluster.node(member), channel_prefix=prefix,
+                               standby=spec.standby)
         node = self.cluster.node(spec.gpa_node)
         zone_gpa = ZoneGpa(
             spec.name, node, self.hub, clock_table=self.clock_table,
@@ -178,15 +214,52 @@ class SysProf:
             reconnect_max_retries=config.reconnect_max_retries,
         )
         zone_gpa.members = list(spec.members)
+        zone_gpa.standby = spec.standby
         zone_gpa.subscribe_all()
         self.federation.add(zone_gpa)
+        if config.reparent:
+            zone_gpa.attach_parent_link(self._build_parent_link(
+                zone_gpa.publisher, owner=zone_gpa.zone_node,
+                primary_prefix=parent_prefix, standby=parent_standby,
+                publish_interval=zone_gpa.forward_interval,
+            ))
         for child in spec.children:
             child_spec = ZoneSpec(**child) if isinstance(child, dict) else child
             zone_gpa.children.append(child_spec.name)
-            self._install_zone(child_spec, parent_prefix=prefix)
+            self._install_zone(child_spec, parent_prefix=prefix,
+                               parent_standby=spec.standby)
         return zone_gpa
 
-    def _install_node(self, node, channel_prefix="sysprof/"):
+    def _build_parent_link(self, publisher, owner, primary_prefix, standby,
+                           publish_interval):
+        """One reparent/return state machine per upward publisher.
+
+        ``owner`` is the name adopted tiers track (a member node, or a
+        ``zone:<name>`` pseudo-node for a zone's own uplink).
+        """
+        config = self.config
+        lease = config.parent_lease_timeout
+        if lease is None:
+            lease = 4.0 * publish_interval
+        federation = self.federation
+        return ParentLink(
+            owner, publisher, self.hub,
+            primary_prefix=primary_prefix,
+            standby_prefix=zone_channel_prefix(standby) if standby else None,
+            standby_zone=standby,
+            root_prefix=ROOT_PREFIX,
+            loss_failures=config.parent_loss_failures,
+            lease_timeout=lease,
+            probe_base=config.reparent_probe_base,
+            probe_cap=config.reparent_probe_cap,
+            probe_jitter=config.reparent_probe_jitter,
+            on_reparent=lambda zone, member=owner: federation.note_adopted(
+                member, zone
+            ),
+            on_return=lambda member=owner: federation.note_returned(member),
+        )
+
+    def _install_node(self, node, channel_prefix="sysprof/", standby=None):
         config = self.config
         kprof = Kprof(node.kernel).attach()
         predicate = None
@@ -216,6 +289,14 @@ class SysProf:
             reconnect_backoff_jitter=config.reconnect_backoff_jitter,
             reconnect_max_retries=config.reconnect_max_retries,
         )
+        if config.reparent and channel_prefix != ROOT_PREFIX:
+            # Zone members reparent on zone-GPA loss; flat daemons keep
+            # the historical publish path (there is nowhere to go).
+            daemon.publisher.parent_link = self._build_parent_link(
+                daemon.publisher, owner=node.name,
+                primary_prefix=channel_prefix, standby=standby,
+                publish_interval=config.eviction_interval,
+            )
         daemon.add_lpa(interaction_lpa)
         nodestats_lpa = None
         if config.nodestats:

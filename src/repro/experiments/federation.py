@@ -35,6 +35,7 @@ from pathlib import Path
 
 from repro.cluster import Cluster, build_spine_leaf
 from repro.core import SysProf, SysProfConfig, ZoneSpec
+from repro.faults import FaultInjector, FaultSchedule
 from repro.workloads.synthetic import install_synthetic_load
 
 
@@ -218,6 +219,237 @@ def run_federation_sweep(node_counts=(16, 64, 256), base_config=None,
             )
             points.append(run_federation_point(config))
     return {"points": points}
+
+
+@dataclass
+class PartitionPoint:
+    """Measured partition-tolerance outcome for one fault scenario.
+
+    ``scenario`` is a :data:`~repro.faults.schedule.PARENT_PARTITION_SCOPES`
+    value: ``uplink`` cuts the whole zone subtree off from the root (the
+    retention path must hold condensation windows), ``gpa`` isolates the
+    zone's GPA node (members must reparent to the standby zone).
+    """
+
+    scenario: str
+    nodes: int
+    zones: int
+    target_zone: str
+    standby_zone: str
+    partition_start: float
+    partition_duration: float
+    detect_latency_s: float       # partition -> last affected link failed over
+    return_latency_s: float       # heal -> last affected link back on primary
+    coverage_gap_s: float         # summed failover-window seconds (all links)
+    member_staleness_max_s: float  # worst sampled member age at its adopter
+    member_staleness_bound_s: float  # detection + two eviction windows
+    staleness_bounded: bool
+    rows_lost: int                # class-summary count conservation residual
+    reparents: int
+    escalations: int
+    returns: int
+    forward_failures: int
+    wall_seconds: float
+
+    def row(self):
+        return (
+            self.scenario,
+            self.target_zone,
+            "{:.2f}".format(self.detect_latency_s),
+            "{:.2f}".format(self.return_latency_s),
+            "{:.2f}".format(self.coverage_gap_s),
+            "{:.2f}/{:.2f}".format(
+                self.member_staleness_max_s, self.member_staleness_bound_s
+            ),
+            self.rows_lost,
+            "{}/{}/{}".format(self.reparents, self.escalations, self.returns),
+        )
+
+
+def run_partition_point(config=None, scenario="gpa", partition_start=1.0,
+                        partition_duration=2.0, settle=2.5):
+    """Partition one zone away from its parent tier and measure recovery.
+
+    Builds the same federated topology as :func:`run_federation_point`
+    but with a *ring* of standbys (zone ``i`` covers for zone ``i+1``),
+    arms a ``parent_partition`` window against the first zone, and
+    measures detection / failover / return latency from the affected
+    :class:`~repro.core.federation.ParentLink` event logs, the sampled
+    worst member staleness at whichever tier currently adopts each
+    member, and the end-to-end class-summary count conservation (rows
+    ingested by zone tiers == rows condensed to the root + rows still
+    pending — the retention invariant: nothing forwarded is ever lost to
+    a dead parent).
+    """
+    config = config or smoke_config()
+    started = time.perf_counter()
+    zones = config.zones or default_zones(config.nodes)
+    per_rack = max(1, config.nodes // zones)
+    cluster = Cluster(seed=config.seed)
+    topology = build_spine_leaf(
+        cluster, racks=zones, nodes_per_rack=per_rack, mgmt_node="mgmt"
+    )
+    sysprof = SysProf(
+        cluster,
+        SysProfConfig(
+            eviction_interval=config.eviction_interval,
+            forward_interval=config.forward_interval,
+            eviction_stagger=config.eviction_stagger,
+            stale_threshold=config.stale_threshold,
+            latency_sketches=False,
+            # Bound the return probe so the settle window after heal is
+            # enough for every link to make it back to its primary.
+            reparent_probe_base=0.25,
+            reparent_probe_cap=1.0,
+        ),
+    )
+    specs = [
+        ZoneSpec(name=rack.name, gpa_node=rack.gpa_node,
+                 members=list(rack.nodes))
+        for rack in topology.racks
+    ]
+    if len(specs) > 1:
+        for index, spec in enumerate(specs):
+            spec.standby = specs[(index + 1) % len(specs)].name
+    sysprof.install(zones=specs, gpa_node="mgmt")
+    install_synthetic_load(
+        sysprof,
+        request_classes=config.request_classes,
+        samples_per_window=config.samples_per_window,
+    )
+    sysprof.start()
+
+    target = specs[0].name
+    standby = specs[0].standby or ""
+    federation = sysprof.federation
+    target_members = list(federation.zone(target).members)
+    injector = FaultInjector(cluster, sysprof=sysprof)
+    injector.arm(
+        FaultSchedule().parent_partition_window(
+            partition_start, partition_duration, target, scope=scenario
+        )
+    )
+
+    duration = partition_start + partition_duration + settle
+    member_ages = []
+
+    def sample_members():
+        """Worst member age at whichever tier currently adopts it."""
+        now = cluster.sim.now
+        worst = 0.0
+        for member in target_members:
+            tier = federation._adopter_tier(
+                federation.adopted.get(member, target)
+            )
+            history = tier.node_stats.get(member) if tier is not None else None
+            if history:
+                worst = max(worst, now - history[-1]["ts"])
+        member_ages.append(worst)
+        if now + config.sample_interval <= duration:
+            cluster.sim.schedule(config.sample_interval, sample_members)
+
+    cluster.sim.schedule(partition_start, sample_members)
+    cluster.run(until=duration)
+
+    links = []
+    if scenario == "gpa":
+        for member in target_members:
+            link = sysprof.monitors[member].daemon.parent_link
+            if link is not None:
+                links.append(link)
+    else:
+        link = federation.zone(target).parent_link
+        if link is not None:
+            links.append(link)
+    partition_at = next(
+        e["at"] for e in injector.log if e["kind"] == "parent_partition"
+    )
+    heal_at = next(e["at"] for e in injector.log if e["kind"] == "heal")
+    detect = return_latency = 0.0
+    for link in links:
+        overs = [e["at"] for e in link.events
+                 if e["event"] in ("reparent", "probe-only")]
+        backs = [e["at"] for e in link.events if e["event"] == "return"]
+        if overs:
+            detect = max(detect, overs[0] - partition_at)
+        if backs:
+            return_latency = max(return_latency, backs[-1] - heal_at)
+
+    # Forward-path conservation: every class-summary count a zone tier
+    # ingested is either condensed at the root or still pending locally.
+    zone_received = zone_pending = 0
+    forward_failures = 0
+    for zone_gpa in federation.all_zones():
+        zone_received += sum(r["count"] for r in zone_gpa.class_summaries)
+        zone_pending += sum(
+            acc["count"] for acc in zone_gpa._pending_classes.values()
+        )
+        forward_failures += zone_gpa.forward_failures
+    root_condensed = sum(
+        r["count"] for r in sysprof.gpa.class_summaries
+        if r["node"].startswith("zone:")
+    )
+    rows_lost = zone_received - root_condensed - zone_pending
+
+    staleness_max = max(member_ages) if member_ages else 0.0
+    bound = detect + 2.0 * config.eviction_interval + config.sample_interval
+    return PartitionPoint(
+        scenario=scenario,
+        nodes=zones * per_rack,
+        zones=zones,
+        target_zone=target,
+        standby_zone=standby,
+        partition_start=partition_at,
+        partition_duration=heal_at - partition_at,
+        detect_latency_s=detect,
+        return_latency_s=return_latency,
+        coverage_gap_s=sum(link.coverage_gap_s for link in links),
+        member_staleness_max_s=staleness_max,
+        member_staleness_bound_s=bound,
+        staleness_bounded=staleness_max <= bound,
+        rows_lost=rows_lost,
+        reparents=sum(link.reparents for link in links),
+        escalations=sum(link.escalations for link in links),
+        returns=sum(link.returns for link in links),
+        forward_failures=forward_failures,
+        wall_seconds=time.perf_counter() - started,
+    )
+
+
+def run_partition_sweep(base_config=None, scenarios=("uplink", "gpa")):
+    """Run every partition scenario against one topology configuration."""
+    return {
+        "points": [
+            run_partition_point(config=base_config, scenario=scenario)
+            for scenario in scenarios
+        ]
+    }
+
+
+def partition_payload(sweep):
+    """JSON-ready ``partition`` trajectory block for BENCH_federation.json."""
+    return [
+        {
+            "scenario": p.scenario,
+            "nodes": p.nodes,
+            "zones": p.zones,
+            "target_zone": p.target_zone,
+            "standby_zone": p.standby_zone,
+            "detect_latency_s": round(p.detect_latency_s, 4),
+            "return_latency_s": round(p.return_latency_s, 4),
+            "coverage_gap_s": round(p.coverage_gap_s, 4),
+            "member_staleness_max_s": round(p.member_staleness_max_s, 4),
+            "member_staleness_bound_s": round(p.member_staleness_bound_s, 4),
+            "staleness_bounded": p.staleness_bounded,
+            "rows_lost": p.rows_lost,
+            "reparents": p.reparents,
+            "escalations": p.escalations,
+            "returns": p.returns,
+            "forward_failures": p.forward_failures,
+            "wall_seconds": round(p.wall_seconds, 2),
+        }
+        for p in sweep["points"]
+    ]
 
 
 #: Where the CLI appends its scaling trajectory (repo root).

@@ -50,6 +50,7 @@ class FaultInjector:
             sched.KIND_PARTITION: self._do_partition,
             sched.KIND_HEAL: self._do_heal,
             sched.KIND_CPU_HOG: self._do_cpu_hog,
+            sched.KIND_PARENT_PARTITION: self._do_parent_partition,
         }
         if sysprof is not None and getattr(sysprof, "metrics", None) is not None:
             sysprof.metrics.register_source("sysprof.faults", self.stats)
@@ -167,6 +168,28 @@ class FaultInjector:
             [self.cluster.node(name).ip for name in group]
             for group in event.params["groups"]
         ]
+        self._partition_ips(groups)
+
+    def _do_parent_partition(self, event):
+        """Cut a zone off from its parent tier (see FaultSchedule).
+
+        ``uplink`` puts the whole zone subtree (members + GPA node) on
+        one side; ``gpa`` isolates just the zone's GPA node, forcing the
+        members to reparent."""
+        zone = self._zone(event.target)
+        scope = event.params.get("scope", "uplink")
+        island = {zone.node.name}
+        if scope == "uplink":
+            island.update(zone.members)
+        rest = [
+            name for name in self.cluster.nodes if name not in island
+        ]
+        self._partition_ips([
+            [self.cluster.node(name).ip for name in sorted(island)],
+            [self.cluster.node(name).ip for name in rest],
+        ])
+
+    def _partition_ips(self, groups):
         self.cluster.fabric.partition(*groups)
         crosses = self.cluster.fabric.switch.crosses_partition
         self._abort_connections(

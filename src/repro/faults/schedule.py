@@ -18,6 +18,7 @@ KIND_LINK_UP = "link_up"
 KIND_PARTITION = "partition"
 KIND_HEAL = "heal"
 KIND_CPU_HOG = "cpu_hog"
+KIND_PARENT_PARTITION = "parent_partition"
 
 KINDS = frozenset(
     {
@@ -33,8 +34,16 @@ KINDS = frozenset(
         KIND_PARTITION,
         KIND_HEAL,
         KIND_CPU_HOG,
+        KIND_PARENT_PARTITION,
     }
 )
+
+#: Valid ``scope`` values for parent_partition.  ``uplink`` cuts the
+#: whole zone subtree (members + zone GPA) off from the rest of the
+#: cluster — the zone's *upward* forwards fail while members still reach
+#: their zone GPA.  ``gpa`` isolates only the zone GPA node, so members
+#: lose their parent tier and must reparent.
+PARENT_PARTITION_SCOPES = ("uplink", "gpa")
 
 # Kinds whose target names a node; the rest target the whole fabric/GPA.
 _NODE_TARGET_KINDS = frozenset(
@@ -49,7 +58,9 @@ _NODE_TARGET_KINDS = frozenset(
 )
 
 # Kinds whose target names a federation zone.
-_ZONE_TARGET_KINDS = frozenset({KIND_ZONE_GPA_KILL, KIND_ZONE_GPA_RESTART})
+_ZONE_TARGET_KINDS = frozenset(
+    {KIND_ZONE_GPA_KILL, KIND_ZONE_GPA_RESTART, KIND_PARENT_PARTITION}
+)
 
 
 class ScheduleError(ValueError):
@@ -91,6 +102,14 @@ class FaultEvent:
             groups = self.params.get("groups")
             if not groups or not all(group for group in groups):
                 raise ScheduleError("partition requires non-empty groups")
+        if self.kind == KIND_PARENT_PARTITION:
+            scope = self.params.get("scope", "uplink")
+            if scope not in PARENT_PARTITION_SCOPES:
+                raise ScheduleError(
+                    "parent_partition scope must be one of {}, got {!r}".format(
+                        PARENT_PARTITION_SCOPES, scope
+                    )
+                )
         if self.kind == KIND_CPU_HOG:
             if float(self.params.get("duration", 0.0)) <= 0.0:
                 raise ScheduleError("cpu_hog requires duration > 0")
@@ -228,6 +247,27 @@ class FaultSchedule:
 
     def partition_window(self, start, duration, groups, jitter=0.0):
         self.partition(start, groups, jitter=jitter)
+        return self.heal(start + duration, jitter=jitter)
+
+    # -- federation parent loss ------------------------------------------
+
+    def parent_partition(self, at, zone, scope="uplink", jitter=0.0):
+        """Cut a federation zone off from its parent tier.
+
+        ``scope="uplink"`` partitions the whole zone subtree (members +
+        zone GPA) from the rest of the cluster: members still reach
+        their zone GPA, but the zone's upward forwards fail — the
+        retention path must hold condensation windows until heal.
+        ``scope="gpa"`` isolates only the zone's GPA node: members lose
+        their parent and must reparent to the standby / root."""
+        return self.add(
+            at, KIND_PARENT_PARTITION, target=zone,
+            params={"scope": scope}, jitter=jitter,
+        )
+
+    def parent_partition_window(self, start, duration, zone, scope="uplink",
+                                jitter=0.0):
+        self.parent_partition(start, zone, scope=scope, jitter=jitter)
         return self.heal(start + duration, jitter=jitter)
 
     # -- access / serialization ------------------------------------------

@@ -179,9 +179,14 @@ class DiagnosisEngine:
 
     def _query_tier(self, node):
         """The tier holding raw records for ``node``: its zone GPA when
-        federated (the root only sees condensed rollups), else the root."""
+        federated (the root only sees condensed rollups), else the root.
+        A reparented member's freshest records live at its *adopter*."""
         federation = self.sysprof.federation
         if federation is not None:
+            if node in federation.adopted:
+                adopter = federation._adopter_tier(federation.adopted[node])
+                if adopter is not None:
+                    return adopter
             zone_gpa = federation.locate_member(node)
             if zone_gpa is not None:
                 return zone_gpa
@@ -200,7 +205,10 @@ class DiagnosisEngine:
 
         federation = self.sysprof.federation
         tier = self.gpa
-        candidates = federation.root_candidates()
+        # Reparented members publish past their dead zone: the root sees
+        # escalated members directly, a standby zone sees its adoptees —
+        # blame must rank them alongside the tier's own children.
+        candidates = federation.root_candidates() + federation.root_adopted()
         path = []
         while True:
             report = self._ranked(find_bottleneck, tier, candidates, since)
@@ -210,9 +218,11 @@ class DiagnosisEngine:
                 return report, path
             path.append(winner)
             tier = federation.zones[zone]
-            candidates = list(tier.members) + [
-                ZONE_NODE_PREFIX + child for child in tier.children
-            ]
+            candidates = (
+                list(tier.members)
+                + federation.adopted_members(tier.zone)
+                + [ZONE_NODE_PREFIX + child for child in tier.children]
+            )
 
     # ------------------------------------------------------------------
     # closed-loop drill-down

@@ -37,6 +37,9 @@ _GAUGE_FIELDS = frozenset((
     "series", "rules", "active_alerts", "clients",
     # federation / topology levels
     "switches", "racks", "nodes", "rack_gpas", "zones",
+    # reparenting state: 1 while a publisher is failed over to a
+    # standby/root, 0 when back on its primary parent
+    "failed_over",
     # simulator engine levels (sysprof.sim.*)
     "delivery_depth", "lane_depth_interrupt", "lane_depth_normal",
     "lane_depth_low", "pool_size", "store_size", "store_slots",

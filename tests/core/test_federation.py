@@ -10,8 +10,13 @@ from repro.workloads.synthetic import install_synthetic_load
 
 def build_federated(seed=13, racks=2, per=2, eviction_interval=0.1,
                     forward_interval=0.25, stale_threshold=1.0,
-                    synthetic=True):
-    """Small spine/leaf cluster with one zone per rack and a root GPA."""
+                    synthetic=True, standbys=False):
+    """Small spine/leaf cluster with one zone per rack and a root GPA.
+
+    ``standbys=True`` arranges the zones in a ring (zone ``i+1`` covers
+    for zone ``i``), so a dead zone GPA's members reparent to the next
+    rack instead of escalating straight to the root.
+    """
     cluster = Cluster(seed=seed)
     topology = build_spine_leaf(
         cluster, racks=racks, nodes_per_rack=per, mgmt_node="mgmt"
@@ -29,6 +34,9 @@ def build_federated(seed=13, racks=2, per=2, eviction_interval=0.1,
                  members=list(rack.nodes))
         for rack in topology.racks
     ]
+    if standbys and len(specs) > 1:
+        for index, spec in enumerate(specs):
+            spec.standby = specs[(index + 1) % len(specs)].name
     sysprof.install(zones=specs, gpa_node="mgmt")
     if synthetic:
         install_synthetic_load(sysprof, samples_per_window=8)

@@ -88,7 +88,7 @@ def test_federated_runs_are_seed_deterministic():
     assert first == second
 
 
-def _build_hot_member_cluster(hot_node="r1n0"):
+def _build_hot_member_cluster(hot_node="r1n0", standbys=False):
     cluster = Cluster(seed=41)
     topology = build_spine_leaf(
         cluster, racks=2, nodes_per_rack=2, mgmt_node="mgmt"
@@ -103,6 +103,9 @@ def _build_hot_member_cluster(hot_node="r1n0"):
                  members=list(rack.nodes))
         for rack in topology.racks
     ]
+    if standbys:
+        for index, spec in enumerate(specs):
+            spec.standby = specs[(index + 1) % len(specs)].name
     sysprof.install(zones=specs, gpa_node="mgmt")
     install_synthetic_load(
         sysprof, samples_per_window=16, hot_nodes=[hot_node], hot_factor=8.0
@@ -129,3 +132,29 @@ def test_blame_descends_two_tiers_to_the_hot_member():
     # The root never saw the member directly — only its zone.
     assert hot_node not in sysprof.gpa.node_stats
     assert "zone:r1" in sysprof.gpa.node_stats
+
+
+def test_blame_follows_hot_member_through_standby_after_zone_kill():
+    """Tentpole e2e: the hot member's zone GPA dies mid-incident.  Its
+    members reparent to the standby zone, whose rollups keep the SLO
+    violation visible at the root — and blame descent walks the rewired
+    path (standby pseudo-node, then the *adopted* hot member)."""
+    cluster, sysprof, hot_node = _build_hot_member_cluster(standbys=True)
+    engine = DiagnosisEngine(
+        sysprof, rules=["p95(rpc) < 6ms"],
+        lookback=1.0, eval_interval=0.2,
+    )
+    sysprof.start()
+    cluster.run(until=1.5)
+    sysprof.federation.zone("r1").kill("test")
+    cluster.run(until=4.0)
+    federation = sysprof.federation
+    # The orphaned members were adopted by the standby zone r0.
+    assert federation.adopted == {"r1n0": "r0", "r1n1": "r0"}
+    assert hot_node in federation.zone("r0").node_stats
+    blame = engine.blame(engine.rules[0], cluster.sim.now)
+    assert blame["path"] == ["zone:r0"]
+    assert blame["node"] == hot_node
+    assert blame["stage"] in ("kernel-wait", "kernel-cpu", "user")
+    # The violation itself is still live at the root via the standby.
+    assert engine.active

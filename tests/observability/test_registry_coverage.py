@@ -47,6 +47,7 @@ INDIRECT = {
     "CalendarQueue",   # Simulator.stats() folds store_* counters
     "HeapStore",       # Simulator.stats() folds store_* counters
     "ChannelPublisher",  # daemon.stats() / zone_gpa.stats() flatten its counters
+    "ParentLink",      # publisher.stats() nests it under "parent_link"
 }
 
 # Not monitoring-plane components: application/workload objects whose
