@@ -69,3 +69,26 @@ def test_federation_cli_writer_appends_same_layout(tmp_path):
     record_trajectory(path, BENCH_SCHEMA, {"points": [3]})
     doc = json.loads(path.read_text())
     assert [entry["points"] for entry in doc["trajectory"]] == [[3]]
+
+
+def test_shared_cli_writer_matches_record_run_layout(tmp_path):
+    """Every CLI BENCH writer (calibrate, microbench, federation) goes
+    through experiments.common.record_trajectory; its documents must be
+    field-for-field compatible with the harness's record_run so readers
+    (gen_docs, check_docs, trend tooling) never care which side wrote
+    the file."""
+    from repro.experiments.common import record_trajectory
+
+    shared = tmp_path / "BENCH_shared.json"
+    harness = tmp_path / "BENCH_harness.json"
+    record_trajectory(shared, "sysprof-repro/bench-x/v2", {"rate": 100})
+    record_run(harness, "sysprof-repro/bench-x/v2", {"rate": 100})
+    a = json.loads(shared.read_text())
+    b = json.loads(harness.read_text())
+    assert set(a) == set(b) == {"schema", "latest", "trajectory"}
+    assert set(a["latest"]) == set(b["latest"]) == {"rate", "commit", "date"}
+    # And appending through one writer then the other extends, never clobbers.
+    record_run(shared, "sysprof-repro/bench-x/v2", {"rate": 200})
+    record_trajectory(shared, "sysprof-repro/bench-x/v2", {"rate": 300})
+    doc = json.loads(shared.read_text())
+    assert [entry["rate"] for entry in doc["trajectory"]] == [100, 200, 300]

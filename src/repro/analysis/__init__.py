@@ -1,13 +1,20 @@
 """Higher-level analysis over SysProf output: per-node bottleneck
 diagnosis (which resource — CPU, disk, or network — bounds a service,
-as in the paper's §3.2 storage-service walk-through) and time-series
-helpers for watching metrics evolve across a run."""
+as in the paper's §3.2 storage-service walk-through), knee detection
+for calibration sweep curves, and time-series helpers for watching
+metrics evolve across a run."""
 
 from repro.analysis.bottleneck import (
     BottleneckReport,
     NodeDiagnosis,
     diagnose_node,
     find_bottleneck,
+)
+from repro.analysis.knees import (
+    KneePoint,
+    find_knee,
+    find_knees,
+    smooth_curve,
 )
 from repro.analysis.modeling import (
     ArrivalModel,
@@ -28,6 +35,7 @@ from repro.analysis.timeseries import (
 __all__ = [
     "ArrivalModel",
     "BottleneckReport",
+    "KneePoint",
     "NodeDiagnosis",
     "ServiceModel",
     "ascii_plot",
@@ -35,10 +43,13 @@ __all__ = [
     "capacity_at_latency",
     "diagnose_node",
     "find_bottleneck",
+    "find_knee",
+    "find_knees",
     "fit_class_models",
     "load_dump",
     "mg1_response_time",
     "moving_average",
     "rate_series",
+    "smooth_curve",
     "utilization_forecast",
 ]

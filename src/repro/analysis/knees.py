@@ -1,0 +1,183 @@
+"""Knee/cliff detection for calibration sweep curves.
+
+A resource sweep offers increasing load ``x`` against one modeled
+resource and measures a response ``y`` (delivered throughput, records
+lost, completed IOPS).  Every modeled resource produces one of two
+shapes:
+
+* **plateau** — ``y`` tracks ``x`` until the resource saturates, then
+  flattens (link serialization, daemon drain bandwidth, CPU-bound
+  receive paths, socket buffers);
+* **onset** — ``y`` stays at zero until a capacity is exceeded, then
+  grows (double-buffer overwrite loss).
+
+Both put the interesting point — the *knee* — where the curve bends
+away from a straight line.  The primary detector here is the
+chord-distance ("kneedle"-style) method: normalize the curve to the
+unit square, draw the chord from the first to the last point, and take
+the point of maximum vertical deviation from that chord.  Concave
+plateau curves deviate above the chord, convex onset curves below it;
+using the absolute deviation handles both without a direction hint.  A
+maximum-second-difference detector is provided as a cross-check
+(``method="secdiff"``).
+
+A *linear* curve deviates nowhere, so its maximum deviation falls under
+``min_strength`` and :func:`find_knee` returns ``None`` rather than a
+spurious point — calibration treats "no knee" as "the sweep never
+reached the resource's capacity", which is a test failure, not a fit.
+
+:func:`find_knees` extends the same idea to multi-knee (staircase)
+curves by taking every local maximum of the deviation curve, strongest
+first, with non-maximum suppression in normalized ``x``.
+"""
+
+from dataclasses import dataclass
+
+__all__ = ["KneePoint", "find_knee", "find_knees", "smooth_curve"]
+
+
+@dataclass
+class KneePoint:
+    """One detected knee: curve coordinates plus detection metadata.
+
+    ``strength`` is the normalized deviation from the first-to-last
+    chord at the knee (0 = perfectly linear, 0.5 = a right-angle bend
+    at mid-curve); comparable across curves regardless of units.
+    """
+
+    x: float
+    y: float
+    index: int
+    strength: float
+    method: str
+
+    def to_dict(self):
+        return {
+            "x": self.x,
+            "y": self.y,
+            "index": self.index,
+            "strength": self.strength,
+            "method": self.method,
+        }
+
+
+def smooth_curve(ys, window=3):
+    """Centered moving average with shrinking edge windows.
+
+    Noise on a measured sweep (scheduling jitter, partial last windows)
+    is small but can shift the argmax of the deviation curve by a grid
+    point; a light smoothing pass stabilizes it.  ``window <= 1``
+    returns the input unchanged.
+    """
+    ys = list(ys)
+    if window <= 1 or len(ys) < 3:
+        return ys
+    half = window // 2
+    out = []
+    for i in range(len(ys)):
+        lo = max(0, i - half)
+        hi = min(len(ys), i + half + 1)
+        out.append(sum(ys[lo:hi]) / (hi - lo))
+    return out
+
+
+def _normalize(values):
+    lo = min(values)
+    span = max(values) - lo
+    if span <= 0:
+        return None
+    return [(value - lo) / span for value in values]
+
+
+def _deviations(xs, ys, smooth):
+    """Per-point |vertical deviation| from the first-to-last chord of the
+    unit-square-normalized curve, or ``None`` for degenerate input."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    if len(xs) < 3:
+        return None
+    xn = _normalize(xs)
+    yn = _normalize(smooth_curve(ys, window=smooth))
+    if xn is None or yn is None:
+        return None  # zero x-span or flat y: no knee to find
+    return [abs(yn[i] - xn[i]) for i in range(len(xs))]
+
+
+def find_knee(xs, ys, min_strength=0.05, smooth=1, method="chord"):
+    """Locate the single strongest knee of a sweep curve.
+
+    Returns a :class:`KneePoint` or ``None`` when the curve is too
+    short, flat, or within ``min_strength`` of a straight line (the
+    honest "no knee" answer for a sweep that never saturated its
+    resource).
+    """
+    xs, ys = list(xs), list(ys)
+    if method == "secdiff":
+        return _find_knee_secdiff(xs, ys, min_strength, smooth)
+    if method != "chord":
+        raise ValueError("unknown knee method: {!r}".format(method))
+    deviations = _deviations(xs, ys, smooth)
+    if deviations is None:
+        return None
+    index = max(range(len(deviations)), key=lambda i: deviations[i])
+    strength = deviations[index]
+    if strength < min_strength:
+        return None
+    return KneePoint(xs[index], ys[index], index, strength, "chord")
+
+
+def _find_knee_secdiff(xs, ys, min_strength, smooth):
+    """Cross-check detector: maximum |second difference| of the
+    normalized curve (interior points only).  Strength is scaled to be
+    roughly comparable with the chord method's."""
+    if len(xs) < 3:
+        return None
+    yn = _normalize(smooth_curve(ys, window=smooth))
+    xn = _normalize(xs)
+    if xn is None or yn is None:
+        return None
+    curvature = [0.0]
+    for i in range(1, len(yn) - 1):
+        curvature.append(abs(yn[i + 1] - 2.0 * yn[i] + yn[i - 1]))
+    curvature.append(0.0)
+    index = max(range(len(curvature)), key=lambda i: curvature[i])
+    # A raw second difference shrinks with grid density; dividing by the
+    # mean normalized step recovers the slope *change* at the bend.  A
+    # right-angle bend changes slope by 2 in the unit square, so /4 maps
+    # it onto the chord method's 0.5-for-a-right-angle strength scale.
+    step = 1.0 / (len(yn) - 1)
+    strength = curvature[index] / step / 4.0
+    if strength < min_strength:
+        return None
+    return KneePoint(xs[index], ys[index], index, strength, "secdiff")
+
+
+def find_knees(xs, ys, min_strength=0.05, min_separation=0.15, smooth=1):
+    """Every local maximum of the chord deviation, strongest first.
+
+    ``min_separation`` suppresses secondary detections within that
+    fraction of the normalized x-range of an already-accepted knee, so
+    a noisy shoulder does not double-report.  A staircase curve (two
+    capacities in series) reports one knee per step.
+    """
+    xs, ys = list(xs), list(ys)
+    deviations = _deviations(xs, ys, smooth)
+    if deviations is None:
+        return []
+    xn = _normalize(xs)
+    last = len(deviations) - 1
+    candidates = [
+        i for i in range(len(deviations))
+        if deviations[i] >= min_strength
+        and (i == 0 or deviations[i] >= deviations[i - 1])
+        and (i == last or deviations[i] > deviations[i + 1])
+    ]
+    candidates.sort(key=lambda i: deviations[i], reverse=True)
+    accepted = []
+    for i in candidates:
+        if any(abs(xn[i] - xn[j]) < min_separation for j in accepted):
+            continue
+        accepted.append(i)
+    return [
+        KneePoint(xs[i], ys[i], i, deviations[i], "chord") for i in accepted
+    ]

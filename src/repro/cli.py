@@ -3,7 +3,8 @@
 Usage::
 
     python -m repro list
-    python -m repro microbench [--quick] [--jobs N]
+    python -m repro microbench [--quick] [--jobs N] [--no-record]
+    python -m repro calibrate [--smoke] [--jobs N] [--seed N] [--resource NAME]
     python -m repro nfs [--threads 1,2,4,8,16] [--ops 20] [--jobs N]
     python -m repro rubis [--scheduler dwcs|radwcs|both] [--duration 20] [--jobs N]
     python -m repro failures [--scenario daemon-crash|partition|both] [--seed N]
@@ -32,6 +33,7 @@ def _cmd_list(_args):
     print()
     rows = [
         ("microbench", "§3.1: linpack, iperf 1G/100M, overhead range"),
+        ("calibrate", "resource-geometry sweeps: infer each modeled capacity from its knee"),
         ("nfs", "Figures 4 & 5: virtual storage service bottleneck"),
         ("rubis", "Figures 6 & 7: DWCS vs resource-aware DWCS"),
         ("failures", "§3.2 failure detection: scripted outages + stale_nodes"),
@@ -72,7 +74,47 @@ def _cmd_microbench(args):
         [(entry.label, entry.monitored, entry.overhead_pct) for entry in sweep],
         title="overhead vs configuration (paper: <1% ... >10%)",
     ))
+    if args.quick:
+        print("\n--quick run: BENCH_microbench.json not updated")
+    elif not args.no_record:
+        from repro.experiments.common import record_trajectory
+        from repro.experiments.microbench import (
+            BENCH_PATH,
+            BENCH_SCHEMA,
+            microbench_payload,
+        )
+
+        record_trajectory(
+            BENCH_PATH, BENCH_SCHEMA, microbench_payload(headline, sweep)
+        )
+        print("\nappended trajectory entry to {}".format(BENCH_PATH))
     return 0
+
+
+def _cmd_calibrate(args):
+    from repro.experiments.calibrate import (
+        BENCH_PATH,
+        BENCH_SCHEMA,
+        RESOURCES,
+        format_report,
+        run_calibration,
+    )
+    from repro.experiments.common import record_trajectory
+
+    report = run_calibration(
+        seed=args.seed, smoke=args.smoke, jobs=_jobs(args),
+        resources=args.resource or None,
+    )
+    print(format_report(report))
+    full_suite = not args.resource or set(args.resource) == set(RESOURCES)
+    if args.no_record:
+        pass
+    elif not full_suite:
+        print("\npartial resource selection: BENCH_calibration.json not updated")
+    else:
+        record_trajectory(BENCH_PATH, BENCH_SCHEMA, report.payload())
+        print("\nappended trajectory entry to {}".format(BENCH_PATH))
+    return 0 if report.passes == report.total else 1
 
 
 def _cmd_nfs(args):
@@ -395,7 +437,24 @@ def build_parser():
     micro = commands.add_parser("microbench", help="§3.1 microbenchmarks")
     micro.add_argument("--quick", action="store_true",
                        help="shorter runs (less precise)")
+    micro.add_argument("--no-record", action="store_true",
+                       help="skip appending to BENCH_microbench.json")
     _add_jobs_flag(micro)
+
+    calibrate = commands.add_parser(
+        "calibrate",
+        help="sweep offered load against each modeled resource and check "
+             "the knee-inferred geometry against the configured values",
+    )
+    calibrate.add_argument("--smoke", action="store_true",
+                           help="coarser grids and shorter runs (CI-sized)")
+    calibrate.add_argument("--seed", type=int, default=23)
+    calibrate.add_argument("--resource", action="append", metavar="NAME",
+                           help="restrict to one resource (repeatable); "
+                                "partial runs skip the trajectory append")
+    calibrate.add_argument("--no-record", action="store_true",
+                           help="skip appending to BENCH_calibration.json")
+    _add_jobs_flag(calibrate)
 
     nfs = commands.add_parser("nfs", help="Figures 4 & 5 (storage service)")
     nfs.add_argument("--threads", default="1,2,4,8,16",
@@ -484,6 +543,7 @@ def main(argv=None):
     handler = {
         "list": _cmd_list,
         "microbench": _cmd_microbench,
+        "calibrate": _cmd_calibrate,
         "nfs": _cmd_nfs,
         "rubis": _cmd_rubis,
         "failures": _cmd_failures,

@@ -4,11 +4,18 @@ failure-injection sweeps, and the observability overhead/trace
 drivers — each returning plain result records so tests and the CLI
 share one code path (see DESIGN.md's experiment index)."""
 
+from repro.experiments.calibrate import (
+    CalibrationReport,
+    ResourceResult,
+    format_report,
+    run_calibration,
+)
 from repro.experiments.common import (
     Series,
     format_table,
     mean,
     mean_field,
+    record_trajectory,
     trace_digest,
 )
 from repro.experiments.microbench import (
@@ -57,6 +64,7 @@ from repro.experiments.rubis_qos import (
 )
 
 __all__ = [
+    "CalibrationReport",
     "DiagnoseConfig",
     "DiagnoseRunResult",
     "FailureExperimentConfig",
@@ -68,11 +76,13 @@ __all__ = [
     "ObservabilityConfig",
     "OverheadPoint",
     "OverheadResult",
+    "ResourceResult",
     "RubisExperimentConfig",
     "RubisRunResult",
     "Series",
     "available_jobs",
     "derive_seed",
+    "format_report",
     "format_table",
     "iperf_experiment",
     "linpack_experiment",
@@ -80,6 +90,8 @@ __all__ = [
     "mean_field",
     "monitoring_cost_experiment",
     "overhead_range_experiment",
+    "record_trajectory",
+    "run_calibration",
     "run_comparison",
     "run_diagnose_experiment",
     "run_failure_experiment",

@@ -2,6 +2,10 @@
 
 import hashlib
 import json
+import os
+import pathlib
+import subprocess
+import time
 from dataclasses import dataclass, field
 
 
@@ -88,6 +92,58 @@ def format_table(headers, rows, title=None):
             "  ".join(_fmt(row[i]).ljust(widths[i]) for i in range(len(headers)))
         )
     return "\n".join(lines)
+
+
+def git_commit():
+    """Short git SHA of the working tree, or ``"unknown"`` outside a repo.
+
+    Stamped into every ``BENCH_*.json`` trajectory entry (and from there
+    into the provenance footers of the generated docs) so a table can be
+    traced back to the run that produced it.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True, text=True, timeout=10,
+        )
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except OSError:
+        pass
+    return "unknown"
+
+
+def record_trajectory(path, schema, payload):
+    """Append one run to a ``BENCH_*.json`` trajectory.
+
+    Same layout as the benchmark harness's ``record_run`` (src/ cannot
+    import benchmarks/): an oldest-first ``trajectory`` list with the
+    newest entry mirrored under ``latest``, each entry commit- and
+    date-stamped.  Shared by every CLI BENCH writer — federation,
+    microbench, calibrate.  Corrupt files are survivable (the history
+    restarts rather than crashing the run).
+    """
+    path = pathlib.Path(path)
+    doc = {}
+    if path.exists():
+        try:
+            doc = json.loads(path.read_text())
+        except ValueError:
+            doc = {}
+    trajectory = doc.get("trajectory")
+    if not isinstance(trajectory, list):
+        trajectory = []
+    entry = dict(payload)
+    entry["commit"] = git_commit()
+    entry["date"] = time.strftime("%Y-%m-%d")
+    trajectory.append(entry)
+    path.write_text(json.dumps({
+        "schema": schema,
+        "latest": entry,
+        "trajectory": trajectory,
+    }, indent=2) + "\n")
+    return entry
 
 
 def _fmt(value):

@@ -25,18 +25,32 @@ what ``python -m repro federation`` and the benchmark harness (which
 appends to ``BENCH_federation.json``) both drive.
 """
 
-import json
 import math
-import os
-import subprocess
 import time
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.cluster import Cluster, build_spine_leaf
 from repro.core import SysProf, SysProfConfig, ZoneSpec
+from repro.experiments.common import record_trajectory
 from repro.faults import FaultInjector, FaultSchedule
 from repro.workloads.synthetic import install_synthetic_load
+
+__all__ = [
+    "BENCH_PATH",
+    "BENCH_SCHEMA",
+    "FederationConfig",
+    "FederationPoint",
+    "PartitionPoint",
+    "partition_payload",
+    "record_trajectory",  # re-exported shared writer (CLI + tests import here)
+    "run_federation_point",
+    "run_federation_sweep",
+    "run_partition_point",
+    "run_partition_sweep",
+    "smoke_config",
+    "sweep_payload",
+]
 
 
 @dataclass
@@ -455,46 +469,6 @@ def partition_payload(sweep):
 #: Where the CLI appends its scaling trajectory (repo root).
 BENCH_PATH = Path(__file__).resolve().parents[3] / "BENCH_federation.json"
 BENCH_SCHEMA = "sysprof-repro/bench-federation/v1"
-
-
-def record_trajectory(path, schema, payload):
-    """Append one run to a ``BENCH_*.json`` trajectory (same layout as
-    the benchmark harness: oldest-first ``trajectory`` list, newest
-    mirrored under ``latest``, each entry commit- and date-stamped)."""
-    path = Path(path)
-    doc = {}
-    if path.exists():
-        try:
-            doc = json.loads(path.read_text())
-        except ValueError:
-            doc = {}
-    trajectory = doc.get("trajectory")
-    if not isinstance(trajectory, list):
-        trajectory = []
-    entry = dict(payload)
-    entry["commit"] = _git_commit()
-    entry["date"] = time.strftime("%Y-%m-%d")
-    trajectory.append(entry)
-    path.write_text(json.dumps({
-        "schema": schema,
-        "latest": entry,
-        "trajectory": trajectory,
-    }, indent=2) + "\n")
-    return entry
-
-
-def _git_commit():
-    try:
-        out = subprocess.run(
-            ["git", "rev-parse", "--short", "HEAD"],
-            cwd=os.path.dirname(os.path.abspath(__file__)),
-            capture_output=True, text=True, timeout=10,
-        )
-        if out.returncode == 0:
-            return out.stdout.strip()
-    except OSError:
-        pass
-    return "unknown"
 
 
 def sweep_payload(sweep):

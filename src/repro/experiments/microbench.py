@@ -10,12 +10,16 @@ Paper anchors:
 """
 
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.cluster import Cluster
 from repro.core import SysProf, SysProfConfig
 from repro.experiments.runner import run_points
 from repro.workloads.iperf import run_iperf
 from repro.workloads.linpack import spawn_linpack
+
+BENCH_PATH = Path(__file__).resolve().parents[3] / "BENCH_microbench.json"
+BENCH_SCHEMA = "sysprof-repro/bench-microbench/v1"
 
 
 @dataclass
@@ -148,3 +152,30 @@ def overhead_range_experiment(duration=0.25, seed=42, jobs=1):
     return [
         OverheadResult(label, baseline, mbps, "Mbps") for label, mbps in measured
     ]
+
+
+def _result_dict(result):
+    return {
+        "label": result.label,
+        "unit": result.unit,
+        "baseline": round(result.baseline, 2),
+        "monitored": round(result.monitored, 2),
+        "overhead_pct": round(result.overhead_pct, 2),
+    }
+
+
+def microbench_payload(headline, sweep):
+    """JSON-ready trajectory payload for ``BENCH_microbench.json``.
+
+    ``headline`` is :func:`run_headline_experiments` output (linpack +
+    the two iperf links); ``sweep`` is
+    :func:`overhead_range_experiment` output.  These two tables are the
+    machine-readable source for the generated sections of
+    EXPERIMENTS.md (see tools/gen_docs.py); values are rounded here so
+    the rendered tables are stable across regenerations from the same
+    entry.
+    """
+    return {
+        "headline": [_result_dict(result) for result in headline],
+        "overhead_range": [_result_dict(result) for result in sweep],
+    }

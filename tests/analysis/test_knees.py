@@ -1,0 +1,142 @@
+"""Knee detector behavior on synthetic curves.
+
+Four families the calibration sweeps produce: a clean plateau knee, the
+same knee under measurement noise, a pure linear curve (no knee — must
+not fabricate one), and a two-step staircase (two knees).  Tolerances
+are in x-grid points: the detector cannot be more precise than the
+sweep grid it is given.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis import find_knee, find_knees, smooth_curve
+from repro.analysis.knees import KneePoint
+
+
+def plateau(xs, capacity):
+    """y = min(x, capacity): the saturating-resource shape."""
+    return [min(x, capacity) for x in xs]
+
+
+GRID = [float(x) for x in range(10, 410, 10)]
+
+
+class TestCleanKnee:
+    def test_plateau_knee_located_at_capacity(self):
+        knee = find_knee(GRID, plateau(GRID, 200.0), smooth=1)
+        assert knee is not None
+        assert abs(knee.x - 200.0) <= 10.0  # within one grid step
+        assert knee.strength > 0.2
+
+    def test_onset_knee_located_at_capacity(self):
+        # Convex shape: zero until capacity, then linear growth (the
+        # buffer-overwrite loss curve).  Deviation falls *below* the
+        # chord; the detector must still find it.
+        ys = [max(0.0, x - 250.0) for x in GRID]
+        knee = find_knee(GRID, ys, smooth=1)
+        assert knee is not None
+        assert abs(knee.x - 250.0) <= 10.0
+
+    def test_knee_point_reports_curve_coordinates(self):
+        ys = plateau(GRID, 120.0)
+        knee = find_knee(GRID, ys, smooth=1)
+        assert isinstance(knee, KneePoint)
+        assert knee.y == ys[knee.index]
+        assert knee.x == GRID[knee.index]
+        assert knee.method == "chord"
+        assert knee.to_dict()["x"] == knee.x
+
+    def test_secdiff_method_agrees_on_clean_knee(self):
+        knee = find_knee(GRID, plateau(GRID, 200.0), smooth=1, method="secdiff")
+        assert knee is not None
+        assert abs(knee.x - 200.0) <= 10.0
+
+
+class TestNoisyKnee:
+    def test_knee_survives_five_percent_noise(self):
+        rng = random.Random(7)
+        ys = [
+            y * (1.0 + rng.uniform(-0.05, 0.05))
+            for y in plateau(GRID, 200.0)
+        ]
+        knee = find_knee(GRID, ys, smooth=3)
+        assert knee is not None
+        # Noise may shift the detection by a couple of grid steps.
+        assert abs(knee.x - 200.0) <= 30.0
+
+    def test_smooth_curve_preserves_length_and_mean_level(self):
+        rng = random.Random(11)
+        ys = [100.0 + rng.uniform(-5, 5) for _ in range(20)]
+        smoothed = smooth_curve(ys, window=3)
+        assert len(smoothed) == len(ys)
+        assert abs(sum(smoothed) / 20 - sum(ys) / 20) < 1.0
+
+
+class TestNoKnee:
+    def test_linear_curve_yields_none_not_a_spurious_knee(self):
+        assert find_knee(GRID, [2.5 * x for x in GRID], smooth=1) is None
+
+    def test_linear_with_small_noise_yields_none(self):
+        rng = random.Random(3)
+        ys = [2.5 * x * (1.0 + rng.uniform(-0.02, 0.02)) for x in GRID]
+        assert find_knee(GRID, ys, smooth=3) is None
+
+    def test_flat_curve_yields_none(self):
+        assert find_knee(GRID, [7.0] * len(GRID), smooth=1) is None
+
+    def test_too_few_points_yields_none(self):
+        assert find_knee([1.0, 2.0], [1.0, 2.0]) is None
+
+    def test_zero_x_span_yields_none(self):
+        assert find_knee([5.0] * 10, plateau(GRID, 100.0)[:10]) is None
+
+    def test_find_knees_empty_for_linear(self):
+        assert find_knees(GRID, [2.5 * x for x in GRID], smooth=1) == []
+
+
+class TestTwoKnees:
+    @staticmethod
+    def staircase(xs):
+        """Rise to 100 at x=100, plateau, rise again to 200 at x=300."""
+        ys = []
+        for x in xs:
+            if x <= 100:
+                ys.append(x)
+            elif x <= 200:
+                ys.append(100.0)
+            elif x <= 300:
+                ys.append(100.0 + (x - 200.0))
+            else:
+                ys.append(200.0)
+        return ys
+
+    def test_both_steps_detected(self):
+        knees = find_knees(GRID, self.staircase(GRID), smooth=1,
+                           min_separation=0.2)
+        assert len(knees) >= 2
+        located = sorted(knee.x for knee in knees[:2])
+        assert abs(located[0] - 100.0) <= 20.0
+        assert abs(located[1] - 300.0) <= 20.0
+
+    def test_strongest_knee_first(self):
+        knees = find_knees(GRID, self.staircase(GRID), smooth=1,
+                           min_separation=0.2)
+        strengths = [knee.strength for knee in knees]
+        assert strengths == sorted(strengths, reverse=True)
+
+    def test_single_knee_curve_reports_one(self):
+        knees = find_knees(GRID, plateau(GRID, 200.0), smooth=1)
+        assert len(knees) == 1
+        assert abs(knees[0].x - 200.0) <= 10.0
+
+
+def test_mismatched_lengths_raise():
+    with pytest.raises(ValueError):
+        find_knee([1, 2, 3], [1, 2])
+
+
+def test_unknown_method_raises():
+    with pytest.raises(ValueError):
+        find_knee(GRID, plateau(GRID, 100.0), method="magic")

@@ -1,0 +1,127 @@
+"""Resource-geometry calibration sweeps (`python -m repro calibrate`).
+
+The cheap resources run for real here (socket buffer, Kprof buffer,
+link serialization — each point is milliseconds); the expensive CPU
+sweeps are covered by ``benchmarks/test_bench_calibration.py`` and the
+CI smoke job.  The determinism contract — a ``--jobs N`` run is
+digest-identical to a serial one — is asserted on the fast subset.
+"""
+
+import pytest
+
+from repro.experiments.calibrate import (
+    RESOURCES,
+    _measure_kprof_buffer,
+    _measure_link_serialization,
+    _measure_socket_buffer,
+    format_report,
+    run_calibration,
+)
+
+#: Sub-second sweeps, safe to run wholesale in tier-1 tests.
+FAST = ("socket_buffer", "kprof_buffer", "link_serialization")
+
+
+class TestRegistry:
+    def test_six_modeled_resources(self):
+        assert set(RESOURCES) == {
+            "socket_buffer", "kprof_buffer", "daemon_drain",
+            "link_serialization", "disk_seek", "rx_frame_cpu",
+        }
+
+    @pytest.mark.parametrize("name", sorted(RESOURCES))
+    def test_grids_are_sorted_positive_and_bracket_configured(self, name):
+        spec = RESOURCES[name]
+        for smoke in (False, True):
+            grid = spec.grid(smoke)
+            assert len(grid) >= 4
+            assert grid == sorted(grid)
+            assert all(x > 0 for x in grid)
+        # Smoke trades points for speed, never the other way around.
+        assert len(spec.grid(True)) <= len(spec.grid(False))
+
+    @pytest.mark.parametrize("name", sorted(RESOURCES))
+    def test_tolerances_are_stated_and_sane(self, name):
+        spec = RESOURCES[name]
+        assert 0.0 < spec.tolerance <= 0.25
+        assert spec.configured() > 0
+        assert spec.note
+
+
+class TestMicroWorkloads:
+    def test_kprof_burst_loss_staircase_is_exact(self):
+        # Two 256-record buffers absorb 512 appends; the 512th append's
+        # switch overwrites the first undrained buffer.
+        assert _measure_kprof_buffer(448, seed=1, smoke=True) == 0.0
+        assert _measure_kprof_buffer(511, seed=1, smoke=True) == 0.0
+        assert _measure_kprof_buffer(512, seed=1, smoke=True) == 256.0
+        assert _measure_kprof_buffer(640, seed=1, smoke=True) == 256.0
+        assert _measure_kprof_buffer(768, seed=1, smoke=True) == 512.0
+
+    def test_socket_flood_parks_at_most_the_buffer(self):
+        accepted = _measure_socket_buffer(3 * 262144, seed=2, smoke=True)
+        assert abs(accepted - 262144) <= 1448  # credit granularity
+        below = _measure_socket_buffer(131072, seed=2, smoke=True)
+        assert below == 131072.0
+
+    def test_link_delivers_offered_load_below_capacity(self):
+        offered = 50e6
+        delivered = _measure_link_serialization(offered, seed=3, smoke=True)
+        assert delivered == pytest.approx(offered, rel=0.01)
+
+    def test_link_saturates_at_configured_bandwidth(self):
+        delivered = _measure_link_serialization(200e6, seed=3, smoke=True)
+        assert delivered == pytest.approx(100e6, rel=0.01)
+
+
+class TestSuite:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_calibration(seed=23, smoke=True, resources=FAST)
+
+    def test_fast_resources_pass_their_geometry_check(self, report):
+        assert report.total == len(FAST)
+        for result in report.resources:
+            assert result.knee is not None, result.name
+            assert result.passed, (result.name, result.rel_error)
+
+    def test_parallel_run_is_digest_identical(self, report):
+        parallel = run_calibration(seed=23, smoke=True, resources=FAST, jobs=2)
+        assert parallel.digest == report.digest
+
+    def test_different_seed_still_converges(self):
+        # The knee positions are properties of the modeled geometry, not
+        # of any particular seed.
+        other = run_calibration(seed=99, smoke=True, resources=("kprof_buffer",))
+        assert other.resources[0].passed
+
+    def test_payload_shape(self, report):
+        payload = report.payload()
+        assert payload["seed"] == 23
+        assert payload["smoke"] is True
+        assert len(payload["digest"]) == 64
+        assert payload["passes"] == payload["total"] == len(FAST)
+        for name in FAST:
+            entry = payload["resources"][name]
+            assert entry["curve"] and entry["knee"] is not None
+            assert entry["tolerance"] > 0
+            assert entry["passed"] is True
+            assert entry["inferred"] == pytest.approx(
+                entry["configured"], rel=entry["tolerance"]
+            )
+
+    def test_resource_lookup(self, report):
+        assert report.resource("kprof_buffer").unit == "records"
+        with pytest.raises(KeyError):
+            report.resource("warp_core")
+
+    def test_unknown_resource_rejected(self):
+        with pytest.raises(KeyError):
+            run_calibration(smoke=True, resources=("warp_core",))
+
+    def test_format_report_mentions_every_resource(self, report):
+        text = format_report(report)
+        for name in FAST:
+            assert name in text
+        assert "digest:" in text
+        assert "3/3 within tolerance" in text

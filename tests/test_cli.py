@@ -75,3 +75,30 @@ def test_failures_command_single_scenario(capsys):
     assert "failure injection" in out
     assert "daemon-crash" in out
     assert "reconnects" in out
+
+
+def test_calibrate_parser_defaults():
+    args = build_parser().parse_args(["calibrate"])
+    assert args.smoke is False
+    assert args.seed == 23
+    assert args.resource is None
+    assert args.no_record is False
+    assert args.jobs == 1
+
+
+def test_calibrate_partial_run_skips_trajectory(capsys, tmp_path):
+    # A single fast resource keeps this tier-1-cheap; partial selections
+    # must never rewrite the committed BENCH trajectory.
+    assert main([
+        "calibrate", "--smoke", "--resource", "kprof_buffer",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "kprof_buffer" in out
+    assert "1/1 within tolerance" in out
+    assert "BENCH_calibration.json not updated" in out
+
+
+def test_microbench_quick_skips_trajectory(capsys):
+    assert main(["microbench", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "BENCH_microbench.json not updated" in out

@@ -9,7 +9,14 @@ Checks, over every ``*.md`` at the repo root and under ``docs/``:
    target file (GitHub-style slugs);
 3. every file under ``docs/`` is reachable from ``README.md`` —
    following both Markdown links and inline-code path mentions like
-   ``docs/metrics.md``, so prose references count.
+   ``docs/metrics.md``, so prose references count;
+4. every machine-generated doc (``docs/calibration.md``,
+   ``docs/cli.md``, and the marked blocks in ``EXPERIMENTS.md``)
+   matches byte-for-byte regeneration from its committed inputs
+   (``tools/gen_docs.py --check``) — hand edits to generated tables
+   fail here;
+5. every ``BENCH_*.json`` trajectory at the repo root is named by at
+   least one authored doc, so no benchmark artifact is orphaned.
 
 Exit status 0 when clean; 1 with one line per problem otherwise.
 Run as ``python tools/check_docs.py [repo-root]``.
@@ -92,9 +99,45 @@ def check_reachability(root):
     ]
 
 
+def check_generated(root):
+    """Generated docs must match regeneration from committed inputs.
+
+    Only meaningful at the real repo root (gen_docs renders from the
+    BENCH_*.json files and the live argparse tree there); for any other
+    root this is a no-op so the link checks stay usable on doc subsets.
+    """
+    import gen_docs  # same directory; sys.path already includes it
+
+    if root.resolve() != gen_docs.ROOT:
+        return []
+    return [
+        "{} drifts from regeneration — run `python tools/gen_docs.py`".format(rel)
+        for rel in gen_docs.drift()
+    ]
+
+
+def check_bench_references(root):
+    """Every BENCH_*.json trajectory must be named by an authored doc."""
+    corpus = "\n".join(
+        path.read_text(encoding="utf-8") for path in doc_files(root)
+    )
+    return [
+        "{} is referenced by no doc — name it in EXPERIMENTS.md or docs/".format(
+            path.name
+        )
+        for path in sorted(root.glob("BENCH_*.json"))
+        if path.name not in corpus
+    ]
+
+
 def main(root=None):
     root = pathlib.Path(root or pathlib.Path(__file__).resolve().parent.parent)
-    problems = check_links(root) + check_reachability(root)
+    problems = (
+        check_links(root)
+        + check_reachability(root)
+        + check_generated(root)
+        + check_bench_references(root)
+    )
     for problem in problems:
         print(problem)
     if not problems:
