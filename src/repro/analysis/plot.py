@@ -1,0 +1,106 @@
+"""Plain-ASCII curve rendering shared by reports, docs, and the dashboard.
+
+Two renderers, both pure functions of their inputs (no wall clock, no
+randomness) so generated docs stay byte-stable across regenerations:
+
+* :func:`sparkline` — one line of height-coded marks for a metric's
+  recent history; the live dashboard's per-metric history column.
+* :func:`ascii_curve` — a small multi-line x/y chart with axis labels
+  and an optional knee marker; ``tools/gen_docs.py`` embeds one per
+  calibration resource in ``docs/calibration.md``.
+
+The older :func:`repro.analysis.timeseries.ascii_plot` draws multiple
+named series on a shared grid; these two trade generality for a tight,
+deterministic layout that reads well inside markdown code fences and
+80-column terminal dashboards.
+"""
+
+#: Height ramp for :func:`sparkline`, lowest to highest.  Pure ASCII on
+#: purpose: the dashboard and the generated docs must render anywhere.
+SPARK_LEVELS = " .:-=+*#%@"
+
+
+def sparkline(values, lo=None, hi=None, width=None):
+    """Render ``values`` as one string of height-coded ASCII marks.
+
+    ``lo``/``hi`` pin the scale (defaults: the data's own min/max, so a
+    flat series renders as a flat mid-level line rather than noise).
+    ``width`` keeps only the trailing ``width`` values.  Returns ``""``
+    for an empty series.
+    """
+    values = [float(v) for v in values]
+    if width is not None and width >= 0:
+        values = values[-width:] if width else []
+    if not values:
+        return ""
+    lo = min(values) if lo is None else float(lo)
+    hi = max(values) if hi is None else float(hi)
+    span = hi - lo
+    top = len(SPARK_LEVELS) - 1
+    if span <= 0.0:
+        # Flat (or degenerate bounds): draw mid-scale so "no change" is
+        # visually distinct from both "empty" and "pinned at zero".
+        return SPARK_LEVELS[len(SPARK_LEVELS) // 2] * len(values)
+    marks = []
+    for value in values:
+        frac = (value - lo) / span
+        frac = 0.0 if frac < 0.0 else (1.0 if frac > 1.0 else frac)
+        marks.append(SPARK_LEVELS[int(round(frac * top))])
+    return "".join(marks)
+
+
+def ascii_curve(xs, ys, width=64, height=10, x_label="x", y_label="y",
+                mark="*", knee_x=None):
+    """Render one (xs, ys) curve as a bordered ASCII chart.
+
+    The y-axis is annotated with its max/min, the x-axis with its
+    bounds; ``knee_x`` (if given) draws a ``|`` column at the nearest
+    plotted x so calibration docs can show the detected knee in-line
+    with the curve.  Points are connected by vertical fill between
+    adjacent samples to keep steep response cliffs visible at low
+    resolutions.  Returns a newline-joined string.
+    """
+    points = [(float(x), float(y)) for x, y in zip(xs, ys)]
+    if not points:
+        return "(no data)"
+    points.sort(key=lambda pt: pt[0])
+    x_lo, x_hi = points[0][0], points[-1][0]
+    y_values = [y for _, y in points]
+    y_lo, y_hi = min(y_values), max(y_values)
+    x_span = x_hi - x_lo
+    y_span = y_hi - y_lo
+    grid = [[" "] * width for _ in range(height)]
+
+    def col_of(x):
+        if x_span <= 0.0:
+            return 0
+        return int(round((x - x_lo) / x_span * (width - 1)))
+
+    def row_of(y):
+        if y_span <= 0.0:
+            return height // 2
+        return int(round((y - y_lo) / y_span * (height - 1)))
+
+    if knee_x is not None:
+        knee_col = col_of(min(max(float(knee_x), x_lo), x_hi))
+        for row in range(height):
+            grid[row][knee_col] = "|"
+    prev_row = None
+    for x, y in points:
+        col = col_of(x)
+        row = row_of(y)
+        if prev_row is not None and abs(row - prev_row) > 1:
+            step = 1 if row > prev_row else -1
+            for fill in range(prev_row + step, row, step):
+                if grid[height - 1 - fill][col] == " ":
+                    grid[height - 1 - fill][col] = "."
+        grid[height - 1 - row][col] = mark
+        prev_row = row
+    lines = ["{} max {:g}".format(y_label, y_hi)]
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    footer = "{}: {:g} .. {:g}".format(x_label, x_lo, x_hi)
+    if knee_x is not None:
+        footer += "   | knee @ {:g}".format(float(knee_x))
+    lines.append(footer)
+    return "\n".join(lines)

@@ -13,6 +13,7 @@ Usage::
     python -m repro overhead [--smoke] [--threads N]
     python -m repro trace [--out trace.json] [--smoke]
     python -m repro profile SCENARIO [--smoke] [--top N] [--trace PATH] [--json PATH]
+    python -m repro serve [SCENARIO] [--smoke] [--port N] [--duration S]
 
 ``--jobs N`` fans independent sweep points out over N worker processes
 (``--jobs 0`` = one per CPU).  Results are identical to serial runs —
@@ -42,6 +43,7 @@ def _cmd_list(_args):
         ("overhead", "per-node CPU attribution: monitoring share vs sampling rate"),
         ("trace", "Chrome trace-event JSON export (Perfetto) of one NFS run"),
         ("profile", "self-profile the reproduction: cProfile hotspots + events/s"),
+        ("serve", "live service mode: streaming dashboard + JSON control socket"),
     ]
     print(format_table(("command", "reproduces"), rows))
     return 0
@@ -331,6 +333,36 @@ def _cmd_profile(args):
     return 0
 
 
+def _cmd_serve(args):
+    from repro.service import ServiceServer, Supervisor, stream
+
+    if args.smoke:
+        from repro.service.smoke import run_smoke
+
+        return run_smoke(scenario=args.scenario)
+    supervisor = Supervisor(args.scenario, slice_width=args.slice)
+    server = None
+    if args.port is not None:
+        server = ServiceServer(supervisor, port=args.port).start()
+        print("control socket listening on {}".format(server.address))
+    try:
+        stream(
+            supervisor, refresh=args.refresh, duration=args.duration,
+            clear=not args.no_clear,
+        )
+    except KeyboardInterrupt:
+        pass
+    finally:
+        if server is not None:
+            server.stop()
+        supervisor.shutdown()
+    print("served {} for {:.2f} simulated seconds ({} slices, "
+          "{} controls applied)".format(
+              supervisor.scenario.name, supervisor.now, supervisor.slices,
+              supervisor.controls_applied))
+    return 0
+
+
 def _cmd_federation(args):
     from repro.experiments.federation import (
         BENCH_PATH,
@@ -534,6 +566,29 @@ def build_parser():
     profile.add_argument("--json", default=None, metavar="PATH",
                          help="also write the full report as JSON")
 
+    from repro.service.scenarios import SCENARIOS as SERVE_SCENARIOS
+
+    serve = commands.add_parser(
+        "serve", help="live service mode: supervised scenario + dashboard"
+    )
+    serve.add_argument("scenario", nargs="?", default="nfs",
+                       choices=sorted(SERVE_SCENARIOS),
+                       help="scenario to supervise (default nfs)")
+    serve.add_argument("--smoke", action="store_true",
+                       help="scripted self-check over the live API (CI-sized)")
+    serve.add_argument("--port", type=int, default=None, metavar="N",
+                       help="serve the JSON control socket on 127.0.0.1:N "
+                            "(0 = pick a free port; default: no socket)")
+    serve.add_argument("--duration", type=float, default=None, metavar="S",
+                       help="stop after S simulated seconds (default: run "
+                            "until interrupted)")
+    serve.add_argument("--refresh", type=float, default=1.0, metavar="S",
+                       help="dashboard refresh period in simulated seconds")
+    serve.add_argument("--slice", type=float, default=0.1, metavar="S",
+                       help="simulated seconds per supervisor slice")
+    serve.add_argument("--no-clear", action="store_true",
+                       help="append frames instead of clearing the screen")
+
     return parser
 
 
@@ -552,6 +607,7 @@ def main(argv=None):
         "overhead": _cmd_overhead,
         "trace": _cmd_trace,
         "profile": _cmd_profile,
+        "serve": _cmd_serve,
     }[args.command]
     return handler(args)
 

@@ -93,6 +93,25 @@ class Controller:
         for monitor in self._monitors(node):
             monitor.daemon.eviction_interval = interval
 
+    def set_forward_interval(self, interval, zone=None):
+        """Retune how often zone GPAs forward condensed rollups upward.
+
+        Applies to every federation zone, or just ``zone``.  The forward
+        loop re-reads the interval before each sleep, so the change takes
+        effect at its next wakeup without restarting the task.
+        """
+        if interval <= 0.0:
+            raise ValueError("interval must be positive")
+        federation = self.toolkit.federation
+        if federation is None:
+            raise ValueError("set_forward_interval needs a federated install")
+        if zone is not None:
+            zones = [self.toolkit.federation.zone(zone)]
+        else:
+            zones = list(federation.all_zones())
+        for zone_gpa in zones:
+            zone_gpa.forward_interval = interval
+
     # ------------------------------------------------------------------
     # closed-loop drill-down (the diagnosis engine's lever)
     # ------------------------------------------------------------------

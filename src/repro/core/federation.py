@@ -137,6 +137,7 @@ class ParentLink:
         self.probe_failures = 0
         self.coverage_gap_s = 0.0  # summed failover-window seconds
         self.events = []  # [{"at", "event", "target", "reason"}]
+        self.listeners = []  # host-side fns: fn(link_name, event_dict)
 
     # -- publisher callbacks --------------------------------------------
 
@@ -253,9 +254,12 @@ class ParentLink:
         return self._rng
 
     def _record(self, now, event, target, reason):
-        self.events.append(
-            {"at": now, "event": event, "target": target, "reason": reason}
-        )
+        entry = {"at": now, "event": event, "target": target, "reason": reason}
+        self.events.append(entry)
+        # Listeners (the service layer's reparent stream) are observers:
+        # they run on the host side and must not touch the simulation.
+        for fn in list(self.listeners):
+            fn(self.name, entry)
 
     # -- reporting -------------------------------------------------------
 

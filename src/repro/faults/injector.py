@@ -35,6 +35,7 @@ class FaultInjector:
         self.log = []  # [{"at": fired_time, "kind": ..., "target": ...}]
         self.fired = 0
         self.hogs_spawned = 0
+        self.injected = 0  # events added mid-run via inject()
         self._armed = False
         self._rng = None
         self._handlers = {
@@ -82,6 +83,38 @@ class FaultInjector:
             sim.schedule(at - sim.now, self._fire, event)
         self._armed = True
         return self
+
+    def inject(self, schedule, base=None):
+        """Register more events mid-run (the service control plane).
+
+        Unlike :meth:`arm` — a one-shot for the scripted pre-run plan —
+        this may be called any number of times while the simulation is
+        live.  Event ``at`` offsets are relative to ``base`` (default:
+        the current simulated time), so an ``at=0.5`` event injected at
+        t=10 fires at t=10.5.  Determinism note: an inject is a control
+        input; two runs issuing the same injects at the same simulated
+        times replay identically, and a run with no injects is untouched.
+        """
+        schedule.validate()
+        sim = self.cluster.sim
+        if base is None:
+            base = sim.now
+        registered = []
+        for event in schedule.events():
+            at = base + event.at
+            if event.jitter:
+                at += event.jitter * self._jitter_rng().random()
+            if at < sim.now:
+                raise SimError(
+                    "fault {} at {} is in the past (now {})".format(
+                        event.kind, at, sim.now
+                    )
+                )
+            sim.schedule(at - sim.now, self._fire, event)
+            registered.append({"kind": event.kind, "target": event.target,
+                               "at": at})
+        self.injected += len(registered)
+        return registered
 
     def _jitter_rng(self):
         if self._rng is None:
@@ -243,4 +276,5 @@ class FaultInjector:
 
     def stats(self):
         """Counters for the metrics registry (``sysprof.faults``)."""
-        return {"fired": self.fired, "hogs_spawned": self.hogs_spawned}
+        return {"fired": self.fired, "hogs_spawned": self.hogs_spawned,
+                "injected": self.injected}

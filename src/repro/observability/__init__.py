@@ -38,8 +38,21 @@ from repro.observability.sketches import (
     QuantileSketch,
     SketchStore,
 )
-from repro.observability.slo import Alert, SloParseError, SloRule, parse_rules
+from repro.observability.slo import (
+    Alert,
+    ExternalRule,
+    SloParseError,
+    SloRule,
+    parse_rules,
+)
 from repro.observability.diagnosis import DiagnosisEngine
+from repro.observability.recorder import TimeSeriesRecorder
+from repro.observability.anomaly import (
+    AnomalyMonitor,
+    SeriesDetector,
+    default_detectors,
+    robust_zscore,
+)
 
 __all__ = [
     "CATEGORIES",
@@ -56,8 +69,14 @@ __all__ = [
     "QuantileSketch",
     "SketchStore",
     "Alert",
+    "ExternalRule",
     "SloParseError",
     "SloRule",
     "parse_rules",
     "DiagnosisEngine",
+    "TimeSeriesRecorder",
+    "AnomalyMonitor",
+    "SeriesDetector",
+    "default_detectors",
+    "robust_zscore",
 ]

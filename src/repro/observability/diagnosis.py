@@ -30,7 +30,7 @@ point, and it is measured via the ledger.)
 """
 
 from repro.observability import ledger as _ledger
-from repro.observability.slo import Alert, parse_rules
+from repro.observability.slo import Alert, ExternalRule, parse_rules
 
 #: Percentiles rendered in the dashboard's latency table.
 DASHBOARD_PERCENTILES = (50.0, 90.0, 95.0, 99.0)
@@ -61,7 +61,11 @@ class DiagnosisEngine:
         self.evaluations = 0
         self.alerts_fired = 0
         self.alerts_resolved = 0
+        self.anomaly_alerts = 0
+        self.retunes = 0
         self._last_eval = None
+        self._alert_seq = 0     # monotone alert-id source (rule + anomaly)
+        self._listeners = []    # fns called with fire/clear event dicts
         self.gpa.diagnosis = self
         if sysprof.metrics is not None:
             sysprof.metrics.register_source("sysprof.diagnosis", self.stats)
@@ -70,6 +74,32 @@ class DiagnosisEngine:
         """Unhook from the GPA's ingest path."""
         if self.gpa.diagnosis is self:
             self.gpa.diagnosis = None
+
+    # ------------------------------------------------------------------
+    # alert events (service subscriptions)
+    # ------------------------------------------------------------------
+
+    def add_listener(self, fn):
+        """Call ``fn(event)`` on every alert transition.
+
+        Events are plain dicts: ``{"type": "alert", "state": "fire" |
+        "clear", "at": now, "alert": alert.as_dict()}``.  Listeners are
+        host-side observers — they must not touch the simulator.
+        """
+        self._listeners.append(fn)
+        return fn
+
+    def remove_listener(self, fn):
+        if fn in self._listeners:
+            self._listeners.remove(fn)
+
+    def _emit(self, event):
+        for fn in list(self._listeners):
+            fn(event)
+
+    def _next_alert_id(self):
+        self._alert_seq += 1
+        return self._alert_seq
 
     # ------------------------------------------------------------------
     # ingest-driven evaluation
@@ -104,10 +134,12 @@ class DiagnosisEngine:
 
     def _on_fire(self, rule, value, now):
         blame = self.blame(rule, now)
-        alert = Alert(rule, now, value, blame=blame)
+        alert = Alert(rule, now, value, blame=blame, id=self._next_alert_id())
         self.active[rule.name] = alert
         self.alerts.append(alert)
         self.alerts_fired += 1
+        self._emit({"type": "alert", "state": "fire", "at": now,
+                    "alert": alert.as_dict()})
         node = blame.get("node")
         if node:
             self._drill(node, now)
@@ -118,9 +150,117 @@ class DiagnosisEngine:
             return
         alert.resolve(now, value)
         self.alerts_resolved += 1
+        self._emit({"type": "alert", "state": "clear", "at": now,
+                    "alert": alert.as_dict()})
         node = alert.blame.get("node")
         if node and not self._still_blamed(node):
             self._restore(node, now)
+
+    # ------------------------------------------------------------------
+    # live retune (service control plane)
+    # ------------------------------------------------------------------
+
+    def set_rules(self, texts, now=None):
+        """Replace the rule set mid-run.
+
+        Rules whose normalized text is unchanged keep their firing state
+        and hysteresis counters; rules that disappear have any active
+        alert resolved (and the blamed node's drill-down restored, if no
+        other alert still blames it).  Returns the new rule names.
+        """
+        if now is None:
+            now = self.gpa.node.sim.now
+        seen = set()
+        kept = []
+        existing = {rule.name: rule for rule in self.rules}
+        for rule in parse_rules(texts):
+            if rule.name in seen:
+                continue
+            seen.add(rule.name)
+            kept.append(existing.get(rule.name, rule))
+        for name, rule in existing.items():
+            if name not in seen and name in self.active:
+                self._on_clear(rule, rule.last_value, now)
+                rule.firing = False
+        self.rules = kept
+        self.retunes += 1
+        return [rule.name for rule in self.rules]
+
+    def add_rule(self, text):
+        """Append one rule; raises on a duplicate (by normalized text)."""
+        rule = parse_rules([text])[0]
+        if any(existing.name == rule.name for existing in self.rules):
+            raise ValueError("duplicate rule {!r}".format(rule.name))
+        self.rules.append(rule)
+        self.retunes += 1
+        return rule.name
+
+    def remove_rule(self, name, now=None):
+        """Drop one rule by its normalized text; resolves its alert."""
+        name = " ".join(name.split())
+        for i, rule in enumerate(self.rules):
+            if rule.name == name:
+                if now is None:
+                    now = self.gpa.node.sim.now
+                if name in self.active:
+                    self._on_clear(rule, rule.last_value, now)
+                    rule.firing = False
+                del self.rules[i]
+                self.retunes += 1
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # external (anomaly-originated) alerts
+    # ------------------------------------------------------------------
+
+    def external_fire(self, name, value, now=None, blame=None,
+                      source="anomaly", drill=False):
+        """Fire a synthetic alert through the normal lifecycle.
+
+        Used by the anomaly detectors: the alert gets a unique engine id
+        (so it can never collide with a rule alert on the same node),
+        shows up in ``active``/``alerts``/the dashboard, and is emitted
+        to listeners.  No drill-down unless ``drill=True`` — anomaly
+        alerts default to pure observation so they cannot perturb a
+        same-seed trace.  Idempotent while firing: a second fire of the
+        same name returns the existing alert.
+        """
+        if now is None:
+            now = self.gpa.node.sim.now
+        rule = ExternalRule(name)
+        if rule.name in self.active:
+            return self.active[rule.name]
+        alert = Alert(rule, now, value, blame=blame or {},
+                      id=self._next_alert_id(), source=source)
+        self.active[rule.name] = alert
+        self.alerts.append(alert)
+        self.alerts_fired += 1
+        self.anomaly_alerts += 1
+        self._emit({"type": "alert", "state": "fire", "at": now,
+                    "alert": alert.as_dict()})
+        if drill:
+            node = (blame or {}).get("node")
+            if node:
+                self._drill(node, now)
+        return alert
+
+    def external_clear(self, name, value=None, now=None):
+        """Resolve a synthetic alert fired via :meth:`external_fire`."""
+        name = " ".join(name.split())
+        alert = self.active.pop(name, None)
+        if alert is None:
+            return None
+        if now is None:
+            now = self.gpa.node.sim.now
+        alert.resolve(now, value)
+        self.alerts_resolved += 1
+        self._emit({"type": "alert", "state": "clear", "at": now,
+                    "alert": alert.as_dict()})
+        node = alert.blame.get("node")
+        if node and not self._still_blamed(node):
+            self._restore(node, now)
+        return alert
 
     def _still_blamed(self, node):
         return any(
@@ -310,7 +450,17 @@ class DiagnosisEngine:
                     for category, seconds in sorted(breakdown.items())
                     if seconds > 0.0
                 )
-                lines.append("  {:<12}{}".format(node, shares))
+                # The ledger remembers every node that ever burned CPU —
+                # including members since evicted from their tier's
+                # nodestats history or killed by a fault.  Mark monitored
+                # nodes whose telemetry has gone quiet instead of
+                # rendering them as live rows.
+                label = node
+                if node in self.sysprof.monitors:
+                    age = self._staleness(node, now)
+                    if age is None or age > self.gpa.stale_threshold:
+                        label += " (stale)"
+                lines.append("  {:<12}{}".format(label, shares))
         else:
             lines.append("  (CPU ledger not installed)")
         if self._drill_open:
@@ -319,12 +469,27 @@ class DiagnosisEngine:
             )
         return "\n".join(lines)
 
+    def _staleness(self, node, now):
+        """Seconds since ``node``'s newest nodestats record (clock-
+        corrected), or ``None`` when its tier has never heard from it."""
+        tier = self._query_tier(node)
+        history = getattr(tier, "node_stats", {}).get(node)
+        if not history:
+            return None
+        last_ts = history[-1]["ts"]
+        table = getattr(tier, "clock_table", None)
+        if table is not None and table.known(node):
+            last_ts = table.to_reference(node, last_ts)
+        return max(0.0, now - last_ts)
+
     def stats(self):
         return {
             "rules": len(self.rules),
             "evaluations": self.evaluations,
             "alerts_fired": self.alerts_fired,
             "alerts_resolved": self.alerts_resolved,
+            "anomaly_alerts": self.anomaly_alerts,
+            "retunes": self.retunes,
             "active_alerts": len(self.active),
             "drilldowns": len(self.drill_log),
             "drilled_nodes": sorted(self._drill_open),

@@ -35,6 +35,7 @@ _GAUGE_FIELDS = frozenset((
     "queued", "depth", "offset",
     "eviction_interval", "stale_threshold", "sketches", "sketch_series",
     "series", "rules", "active_alerts", "clients",
+    "detectors", "active",
     # federation / topology levels
     "switches", "racks", "nodes", "rack_gpas", "zones",
     # reparenting state: 1 while a publisher is failed over to a
@@ -101,6 +102,11 @@ class MetricsRegistry:
     def __init__(self):
         self._metrics = {}  # name -> Metric
         self._sources = []  # (prefix, fn)
+        # Simulated time of the most recent snapshot() scrape (None until
+        # the first one).  Stamped into every snapshot so consumers — the
+        # time-series recorder, the dashboard — can flag series whose
+        # newest sample is old instead of silently re-plotting it.
+        self.last_sample_ts = None
 
     # -- registration ---------------------------------------------------
 
@@ -153,6 +159,18 @@ class MetricsRegistry:
                 kind = GAUGE if leaf in _GAUGE_FIELDS else COUNTER
                 out[name] = (kind, value)
         return dict(sorted(out.items()))
+
+    def snapshot(self, now):
+        """One timestamped scrape: ``{"ts": now, "metrics": collect()}``.
+
+        ``now`` is the simulated time of the scrape; it is stamped into
+        the returned dict and remembered as :attr:`last_sample_ts`.
+        Sources are all sampled inside this single call, so every value
+        in one snapshot shares the same sample timestamp — the contract
+        the recorder's per-point staleness flags rely on.
+        """
+        self.last_sample_ts = now
+        return {"ts": now, "metrics": self.collect()}
 
     def render(self):
         """Plain-text exposition (``/proc/sysprof/metrics`` format)."""

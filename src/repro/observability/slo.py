@@ -226,16 +226,50 @@ class SloRule:
         return "<SloRule {!r} firing={}>".format(self.text, self.firing)
 
 
+class ExternalRule:
+    """Rule-shaped shim for alerts originated outside the SLO grammar.
+
+    The anomaly detectors (and anything else calling
+    ``DiagnosisEngine.external_fire``) have no parsed comparison to
+    attach an :class:`Alert` to; this carries just what alert rendering
+    needs — a normalized ``name``/``text`` and a value formatter.
+    ``unit`` is ``"s"``, ``"share"``, or ``None`` (plain number).
+    """
+
+    def __init__(self, name, unit=None):
+        self.name = " ".join(name.split())
+        self.text = self.name
+        self.unit = unit
+
+    def format_value(self, value):
+        if value is None:
+            return "n/a"
+        if self.unit == "s":
+            return "{:.2f}s".format(value)
+        if self.unit == "share":
+            return "{:.1%}".format(value)
+        return "{:.2f}".format(value)
+
+    def __repr__(self):
+        return "<ExternalRule {!r}>".format(self.text)
+
+
 class Alert:
     """One firing (or since-resolved) rule violation with blame."""
 
-    def __init__(self, rule, fired_at, value, blame=None):
+    def __init__(self, rule, fired_at, value, blame=None, id=None,
+                 source="rule"):
         self.rule = rule
         self.fired_at = fired_at
         self.resolved_at = None
         self.value_at_fire = value
         self.value_at_resolve = None
         self.blame = blame or {}
+        # Unique per engine (monotone), assigned at fire time so rule
+        # alerts and synthetic anomaly alerts on the same node can never
+        # collide; ``source`` is "rule" or "anomaly".
+        self.id = id
+        self.source = source
 
     @property
     def firing(self):
@@ -268,6 +302,8 @@ class Alert:
 
     def as_dict(self):
         return {
+            "id": self.id,
+            "source": self.source,
             "rule": self.rule.text,
             "state": self.state,
             "fired_at": self.fired_at,

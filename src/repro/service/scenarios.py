@@ -1,0 +1,352 @@
+"""Supervised scenarios: long-running monitored workloads for live mode.
+
+A *scenario* is everything the :class:`~repro.service.supervisor.Supervisor`
+needs to keep a monitored system alive for hours of simulated time: a
+seeded cluster, an application under **continuous** traffic, a SysProf
+installation with latency sketches, a :class:`DiagnosisEngine` with the
+scenario's SLO rules, and an un-armed :class:`FaultInjector` ready for
+mid-flight injections.
+
+Traffic is driven by in-sim looping tasks, never by the host pump: a
+client that replenishes itself at slice boundaries would entangle the
+trace with the supervisor's slice width, breaking the service-vs-batch
+determinism contract (``tests/service/test_determinism.py``).  Because
+every generator lives inside the simulation, pumping ``run(until=...)``
+in any sequence of slices replays the identical event stream.
+
+Four scenarios ship (mirroring the paper's evaluation workloads):
+
+``nfs``
+    Iozone-style writers looping forever through the virtual storage
+    proxy (§3.2's Figure 4/5 system).  The default, and what
+    ``python -m repro serve --smoke`` boots.
+``rubis``
+    The RUBiS site with DWCS-dispatched httperf sessions (Figure 6/7).
+``federation``
+    A spine/leaf cluster with zone GPAs condensing synthetic telemetry
+    upward — the scenario whose reparent events the service streams.
+``synthetic``
+    Flat install, synthetic sketch/class LPAs only: maximal telemetry
+    rate per simulated second, no application layer.
+"""
+
+from repro.cluster import Cluster, build_spine_leaf
+from repro.core import SysProf, SysProfConfig, ZoneSpec
+from repro.faults import FaultInjector
+from repro.observability import DiagnosisEngine
+from repro.observability import ledger as cpu_ledger
+
+
+class Scenario:
+    """One built, started, supervised workload (see module docstring)."""
+
+    def __init__(self, name, cluster, sysprof, engine, injector, ledger,
+                 owns_ledger, description="", traffic=""):
+        self.name = name
+        self.cluster = cluster
+        self.sysprof = sysprof
+        self.engine = engine
+        self.injector = injector
+        self.ledger = ledger
+        self._owns_ledger = owns_ledger
+        self.description = description
+        self.traffic = traffic
+
+    @property
+    def sim(self):
+        return self.cluster.sim
+
+    def parent_links(self):
+        """Every live reparent state machine (member daemons + zones)."""
+        links = []
+        for monitor in self.sysprof.monitors.values():
+            link = monitor.daemon.parent_link
+            if link is not None:
+                links.append(link)
+        federation = self.sysprof.federation
+        if federation is not None:
+            for zone_gpa in federation.all_zones():
+                if zone_gpa.parent_link is not None:
+                    links.append(zone_gpa.parent_link)
+        return links
+
+    def close(self):
+        """Release process-global state (the CPU ledger) we installed."""
+        if self._owns_ledger:
+            cpu_ledger.uninstall()
+            self._owns_ledger = False
+
+    def describe(self):
+        return {
+            "name": self.name,
+            "description": self.description,
+            "traffic": self.traffic,
+            "nodes": sorted(self.cluster.nodes),
+            "monitored": sorted(self.sysprof.monitors),
+            "rules": [rule.name for rule in self.engine.rules],
+            "federated": self.sysprof.federation is not None,
+        }
+
+
+def _install_ledger():
+    """The scenario's CPU ledger: reuse an active one, else install."""
+    ledger = cpu_ledger.active()
+    if ledger is not None:
+        return ledger, False
+    return cpu_ledger.install(), True
+
+
+# ---------------------------------------------------------------------------
+# nfs
+# ---------------------------------------------------------------------------
+
+
+def _nfs_writer(ctx, server, path, record_bytes, burst, think):
+    """One iozone-style thread that never finishes: write bursts with a
+    COMMIT and a think pause, looping over a bounded file region."""
+    from repro.apps.nfs.client import NfsMount
+
+    mount = NfsMount(ctx, server, pipeline=4)
+    yield from mount.connect()
+    yield from mount.lookup(path)
+    op = 0
+    while True:
+        for _ in range(burst):
+            offset = (op % 512) * record_bytes
+            yield from mount.write(path, offset, record_bytes, stable=False)
+            op += 1
+        yield from mount.commit(path)
+        yield from ctx.sleep(think)
+
+
+def build_nfs(seed=11, clients=1, backends=2, threads_per_client=2,
+              record_bytes=16384, burst=8, think=0.01,
+              eviction_interval=0.2, sketch_alpha=0.01,
+              rules=("p95(nfs-write) < 8ms",), lookback=1.0,
+              eval_interval=0.1):
+    """The virtual storage service under endless iozone-style writes."""
+    from repro.apps.nfs.service import VirtualStorageService
+
+    ledger, owns = _install_ledger()
+    cluster = Cluster(seed=seed)
+    client_names = ["client{}".format(i + 1) for i in range(clients)]
+    for name in client_names:
+        cluster.add_node(name)
+    cluster.add_node("proxy")
+    backend_names = ["backend{}".format(i + 1) for i in range(backends)]
+    for name in backend_names:
+        cluster.add_node(name, with_disk=True)
+    cluster.add_node("mgmt")
+    VirtualStorageService(cluster, "proxy", backend_names).start()
+
+    sysprof = SysProf(cluster, SysProfConfig(
+        eviction_interval=eviction_interval, latency_sketches=True,
+        sketch_alpha=sketch_alpha,
+    ))
+    sysprof.install(monitored=["proxy"] + backend_names, gpa_node="mgmt")
+    sysprof.start()
+    engine = DiagnosisEngine(
+        sysprof, rules=list(rules), ledger=ledger,
+        lookback=lookback, eval_interval=eval_interval,
+    )
+    injector = FaultInjector(cluster, sysprof=sysprof)
+    for client in client_names:
+        node = cluster.node(client)
+        for thread_id in range(threads_per_client):
+            path = "/data/{}/file{}".format(client, thread_id)
+            node.spawn(
+                "writer-{}-t{}".format(client, thread_id),
+                _nfs_writer, "proxy", path, record_bytes, burst, think,
+            )
+    return Scenario(
+        "nfs", cluster, sysprof, engine, injector, ledger, owns,
+        description="virtual storage proxy + {} backends".format(backends),
+        traffic="{} clients x {} looping iozone writers".format(
+            clients, threads_per_client
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# rubis
+# ---------------------------------------------------------------------------
+
+
+def build_rubis(seed=29, sessions_per_class=30, rate_per_class=150.0,
+                traffic_horizon=3600.0, eviction_interval=0.1,
+                rules=("p95(bidding) < 100ms",), lookback=1.0,
+                eval_interval=0.1):
+    """The RUBiS site under DWCS-dispatched httperf sessions.
+
+    ``traffic_horizon`` bounds how long the generators keep producing
+    (simulated seconds) — effectively "forever" for a service session;
+    raise it for longer supervised runs.
+    """
+    from repro.apps.rubis.requests import BIDDING, COMMENT
+    from repro.apps.rubis.site import RubisSite
+    from repro.apps.scheduling import (
+        DwcsScheduler,
+        DwcsStream,
+        RequestDispatcher,
+        RoundRobinRouter,
+    )
+    from repro.workloads.httperf import HttperfConfig, spawn_httperf
+
+    servlets = ("servlet1", "servlet2")
+    ledger, owns = _install_ledger()
+    cluster = Cluster(seed=seed)
+    cluster.add_node("client")
+    cluster.add_node("apache")
+    for name in servlets:
+        cluster.add_node(name)
+    cluster.add_node("db", with_disk=True)
+    cluster.add_node("mgmt")
+    site = RubisSite(cluster, "apache", list(servlets), "db").start()
+
+    sysprof = SysProf(cluster, SysProfConfig(
+        eviction_interval=eviction_interval, latency_sketches=True,
+    ))
+    sysprof.install(monitored=list(servlets), gpa_node="mgmt")
+    sysprof.start()
+    engine = DiagnosisEngine(
+        sysprof, rules=list(rules), ledger=ledger,
+        lookback=lookback, eval_interval=eval_interval,
+    )
+    injector = FaultInjector(cluster, sysprof=sysprof)
+
+    dwcs = DwcsScheduler()
+    for profile in (BIDDING, COMMENT):
+        dwcs.add_stream(DwcsStream(
+            profile.name, profile.period, profile.window_x, profile.window_y
+        ))
+    dispatcher = RequestDispatcher(
+        cluster.node("client"), "apache", site.http_port, list(servlets),
+        dwcs, router=RoundRobinRouter(list(servlets)),
+    ).start()
+    spawn_httperf(
+        cluster.node("client"), dispatcher,
+        HttperfConfig(
+            sessions_per_class=sessions_per_class,
+            rate_per_class=rate_per_class,
+            duration=traffic_horizon,
+        ),
+        cluster.streams,
+    )
+    return Scenario(
+        "rubis", cluster, sysprof, engine, injector, ledger, owns,
+        description="RUBiS site: apache + {} servlets + db".format(
+            len(servlets)
+        ),
+        traffic="httperf, {} sessions/class at {:.0f} req/s for {:.0f}s".format(
+            sessions_per_class, rate_per_class, traffic_horizon
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# federation
+# ---------------------------------------------------------------------------
+
+
+def build_federation(seed=19, zones=2, nodes_per_zone=3,
+                     eviction_interval=0.2, forward_interval=0.5,
+                     request_classes=("rpc",), samples_per_window=16,
+                     rules=("staleness(r0n0) < 2s",), lookback=1.0,
+                     eval_interval=0.1):
+    """Spine/leaf zones condensing synthetic telemetry to a root GPA."""
+    from repro.workloads.synthetic import install_synthetic_load
+
+    ledger, owns = _install_ledger()
+    cluster = Cluster(seed=seed)
+    topology = build_spine_leaf(
+        cluster, racks=zones, nodes_per_rack=nodes_per_zone, mgmt_node="mgmt"
+    )
+    sysprof = SysProf(cluster, SysProfConfig(
+        eviction_interval=eviction_interval,
+        forward_interval=forward_interval,
+        latency_sketches=False,  # the synthetic LPAs supply sketch rows
+    ))
+    specs = [
+        ZoneSpec(name=rack.name, gpa_node=rack.gpa_node,
+                 members=list(rack.nodes))
+        for rack in topology.racks
+    ]
+    sysprof.install(zones=specs, gpa_node="mgmt")
+    install_synthetic_load(
+        sysprof, request_classes=request_classes,
+        samples_per_window=samples_per_window,
+    )
+    sysprof.start()
+    engine = DiagnosisEngine(
+        sysprof, rules=list(rules), ledger=ledger,
+        lookback=lookback, eval_interval=eval_interval,
+    )
+    injector = FaultInjector(cluster, sysprof=sysprof)
+    return Scenario(
+        "federation", cluster, sysprof, engine, injector, ledger, owns,
+        description="{} zones x {} members, zone GPAs under a root".format(
+            zones, nodes_per_zone
+        ),
+        traffic="synthetic sketch/class LPAs on every member",
+    )
+
+
+# ---------------------------------------------------------------------------
+# synthetic
+# ---------------------------------------------------------------------------
+
+
+def build_synthetic(seed=17, nodes=4, eviction_interval=0.1,
+                    request_classes=("rpc",), samples_per_window=32,
+                    rules=("p95(rpc) < 50ms",), lookback=1.0,
+                    eval_interval=0.1):
+    """Flat install with synthetic LPAs: pure monitoring-plane traffic."""
+    from repro.workloads.synthetic import install_synthetic_load
+
+    ledger, owns = _install_ledger()
+    cluster = Cluster(seed=seed)
+    names = ["n{}".format(i) for i in range(nodes)]
+    for name in names:
+        cluster.add_node(name)
+    cluster.add_node("mgmt")
+    sysprof = SysProf(cluster, SysProfConfig(
+        eviction_interval=eviction_interval, latency_sketches=False,
+    ))
+    sysprof.install(monitored=names, gpa_node="mgmt")
+    install_synthetic_load(
+        sysprof, request_classes=request_classes,
+        samples_per_window=samples_per_window,
+    )
+    sysprof.start()
+    engine = DiagnosisEngine(
+        sysprof, rules=list(rules), ledger=ledger,
+        lookback=lookback, eval_interval=eval_interval,
+    )
+    injector = FaultInjector(cluster, sysprof=sysprof)
+    return Scenario(
+        "synthetic", cluster, sysprof, engine, injector, ledger, owns,
+        description="{} monitored nodes, no application layer".format(nodes),
+        traffic="synthetic sketch/class LPAs",
+    )
+
+
+#: Registry the CLI and supervisor resolve scenario names through.
+SCENARIOS = {
+    "nfs": build_nfs,
+    "rubis": build_rubis,
+    "federation": build_federation,
+    "synthetic": build_synthetic,
+}
+
+
+def build_scenario(name, **overrides):
+    """Build a registered scenario by name."""
+    try:
+        builder = SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            "unknown scenario {!r} (have: {})".format(
+                name, ", ".join(sorted(SCENARIOS))
+            )
+        ) from None
+    return builder(**overrides)

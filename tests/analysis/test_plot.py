@@ -1,0 +1,77 @@
+"""The shared ASCII renderers behind the dashboard and generated docs."""
+
+from repro.analysis.plot import SPARK_LEVELS, ascii_curve, sparkline
+
+
+def test_sparkline_empty():
+    assert sparkline([]) == ""
+    assert sparkline([1.0, 2.0], width=0) == ""
+
+
+def test_sparkline_monotone_ramp_uses_full_scale():
+    line = sparkline(range(10))
+    assert len(line) == 10
+    assert line[0] == SPARK_LEVELS[0]
+    assert line[-1] == SPARK_LEVELS[-1]
+    # Heights never decrease on a monotone series.
+    ranks = [SPARK_LEVELS.index(ch) for ch in line]
+    assert ranks == sorted(ranks)
+
+
+def test_sparkline_flat_series_renders_mid_scale():
+    line = sparkline([5.0] * 6)
+    assert line == SPARK_LEVELS[len(SPARK_LEVELS) // 2] * 6
+
+
+def test_sparkline_width_keeps_trailing_values():
+    line = sparkline([0, 0, 0, 10, 10], width=2)
+    assert line == SPARK_LEVELS[len(SPARK_LEVELS) // 2] * 2  # both at hi
+
+
+def test_sparkline_pinned_bounds_clamp():
+    line = sparkline([-5.0, 50.0], lo=0.0, hi=10.0)
+    assert line[0] == SPARK_LEVELS[0]
+    assert line[-1] == SPARK_LEVELS[-1]
+
+
+def test_sparkline_deterministic():
+    values = [3, 1, 4, 1, 5, 9, 2, 6]
+    assert sparkline(values) == sparkline(values)
+
+
+def test_ascii_curve_empty():
+    assert ascii_curve([], []) == "(no data)"
+
+
+def test_ascii_curve_layout_and_labels():
+    text = ascii_curve(
+        [0, 1, 2, 3], [0.0, 1.0, 4.0, 9.0],
+        width=20, height=5, x_label="load", y_label="lat",
+    )
+    lines = text.splitlines()
+    assert lines[0].startswith("lat max 9")
+    assert lines[-1].startswith("load: 0 .. 3")
+    assert len(lines) == 5 + 3  # height rows + header + axis + footer
+    body = "\n".join(lines[1:-2])
+    assert "*" in body
+
+
+def test_ascii_curve_knee_marker():
+    text = ascii_curve(
+        [0, 1, 2, 3, 4], [1, 1, 1, 5, 5],
+        width=21, height=5, knee_x=3,
+    )
+    assert "|" in text
+    assert "knee @ 3" in text
+
+
+def test_ascii_curve_vertical_fill_on_cliff():
+    # A hard step should leave '.' fill between the two plotted rows.
+    text = ascii_curve([0, 1], [0.0, 100.0], width=10, height=8)
+    assert "." in text
+
+
+def test_ascii_curve_flat_series():
+    text = ascii_curve([0, 1, 2], [2.0, 2.0, 2.0], width=12, height=4)
+    assert "(no data)" not in text
+    assert "*" in text

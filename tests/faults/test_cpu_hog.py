@@ -52,7 +52,7 @@ def test_cpu_hog_burns_requested_share(utilization):
     assert injector.summary() == {"cpu_hog": 1}
     assert injector.hogs_spawned == 1
     assert injector.log[0]["at"] == pytest.approx(0.5)
-    assert injector.stats() == {"fired": 1, "hogs_spawned": 1}
+    assert injector.stats() == {"fired": 1, "hogs_spawned": 1, "injected": 0}
 
 
 def test_cpu_hog_user_band_burns_user_mode():

@@ -157,3 +157,36 @@ def test_jittered_times_are_seed_deterministic():
     assert first == second
     assert first != [0.5, 1.5]  # jitter actually moved the events
     assert fire_times(34) != first  # and is seed-dependent
+
+
+def test_inject_registers_events_mid_run_relative_to_now():
+    cluster = Cluster(seed=7)
+    cluster.add_node("a")
+    cluster.add_node("b")
+    injector = FaultInjector(cluster)
+    cluster.run(until=1.0)
+    # arm() is a one-shot; inject() is the live control plane and may be
+    # called repeatedly, offsets relative to the current time.
+    registered = injector.inject(
+        FaultSchedule().cpu_hog(0.25, "a", 0.2, utilization=1.0)
+    )
+    assert registered == [
+        {"kind": "cpu_hog", "target": "a", "at": pytest.approx(1.25)}
+    ]
+    injector.inject(FaultSchedule().cpu_hog(0.75, "b", 0.2))
+    cluster.run(until=3.0)
+    assert [entry["at"] for entry in injector.log] == [
+        pytest.approx(1.25), pytest.approx(1.75)
+    ]
+    assert injector.summary() == {"cpu_hog": 2}
+    assert injector.injected == 2
+    assert injector.stats()["injected"] == 2
+
+
+def test_inject_rejects_events_in_the_past():
+    cluster = Cluster(seed=7)
+    cluster.add_node("a")
+    injector = FaultInjector(cluster)
+    cluster.run(until=1.0)
+    with pytest.raises(SimError, match="past"):
+        injector.inject(FaultSchedule().cpu_hog(0.5, "a", 0.2), base=0.0)

@@ -1,0 +1,258 @@
+"""Alert-lifecycle edges: hysteresis re-fires, listener events, live
+retune, anomaly/rule coexistence, and stale dashboard rows.
+
+These pin the contracts the live service mode leans on: ids are unique
+and monotone across rule and anomaly alerts, every fire/clear reaches
+subscribed listeners exactly once, a retune resolves the alerts of
+rules it removes, and a value that dips inside the ``clear_after``
+window does *not* resolve-and-refire — hysteresis absorbs the dip.
+"""
+
+import pytest
+
+from repro.core import SysProfConfig
+from repro.observability import DiagnosisEngine
+from repro.observability.slo import SloRule
+from tests.core.helpers import build_monitored_pair, drive_traffic
+
+
+def _sketching_pair(**config_kwargs):
+    config = SysProfConfig(
+        eviction_interval=0.05, latency_sketches=True, **config_kwargs
+    )
+    return build_monitored_pair(config=config)
+
+
+# ---------------------------------------------------------------------------
+# hysteresis edges (pure SloRule state machine)
+# ---------------------------------------------------------------------------
+
+
+def test_dip_inside_clear_window_does_not_resolve():
+    """fire -> one good sample -> bad again: the alert must stay up."""
+    rule = SloRule("p95(q) < 10ms", fire_after=2, clear_after=2)
+    assert rule.update(0.020) is None     # violation 1 of 2
+    assert rule.update(0.020) == "fire"   # violation 2 of 2
+    assert rule.update(0.001) is None     # clear evidence 1 of 2...
+    assert rule.update(0.020) is None     # ...wiped by the relapse
+    assert rule.firing
+    # Only clear_after *consecutive* good samples resolve.
+    assert rule.update(0.001) is None
+    assert rule.update(0.001) == "clear"
+    assert not rule.firing
+
+
+def test_refire_after_clear_needs_full_fire_hysteresis():
+    """fire -> clear -> violations again: re-fires only after
+    ``fire_after`` fresh consecutive violations (counters were reset)."""
+    rule = SloRule("p95(q) < 10ms", fire_after=2, clear_after=2)
+    assert rule.update(0.020) is None
+    assert rule.update(0.020) == "fire"
+    assert rule.update(0.001) is None
+    assert rule.update(0.001) == "clear"
+    # Immediately violated again, inside what would have been the old
+    # clear window: one violation arms, the second fires.
+    assert rule.update(0.020) is None
+    assert rule.firing is False
+    assert rule.update(0.020) == "fire"
+
+
+def test_clear_threshold_is_stricter_than_fire_threshold():
+    """A value between clear_factor*threshold and threshold neither
+    fires (objective holds) nor clears (hysteresis band)."""
+    rule = SloRule("p95(q) < 10ms", fire_after=1, clear_after=1,
+                   clear_factor=0.9)
+    assert rule.update(0.020) == "fire"
+    for _ in range(5):
+        assert rule.update(0.0095) is None  # in the band: still firing
+    assert rule.firing
+    assert rule.update(0.0085) == "clear"   # under 0.9 * 10ms
+
+
+# ---------------------------------------------------------------------------
+# engine-level: re-fire produces a fresh alert + events, ids are unique
+# ---------------------------------------------------------------------------
+
+
+def _quiet_engine(**engine_kwargs):
+    """An installed engine whose rule never fires on its own."""
+    cluster, sysprof = _sketching_pair()
+    engine = DiagnosisEngine(
+        sysprof, rules=["p99(query) < 999999s"], **engine_kwargs
+    )
+    drive_traffic(cluster, sysprof)
+    return cluster, sysprof, engine
+
+
+def test_fire_clear_refire_yields_distinct_alert_ids_and_events():
+    cluster, sysprof = _sketching_pair()
+    rule = SloRule("p50(query) < 1us", fire_after=1, clear_after=1)
+    engine = DiagnosisEngine(
+        sysprof, rules=[rule], lookback=0.5, eval_interval=0.05
+    )
+    events = []
+    engine.add_listener(events.append)
+    drive_traffic(cluster, sysprof)  # burst ends, window drains -> clear
+    assert engine.alerts_fired == 1 and engine.alerts_resolved == 1
+    # Manually re-violate after the clear: a *new* Alert object with a
+    # larger id, not a resurrection of the first.
+    now = cluster.sim.now
+    engine._on_fire(rule, 0.5, now)
+    assert engine.alerts_fired == 2
+    first, second = engine.alerts
+    assert first is not second
+    assert first.id == 1 and second.id == 2
+    states = [(e["state"], e["alert"]["id"]) for e in events]
+    assert states == [("fire", 1), ("clear", 1), ("fire", 2)]
+
+
+def test_anomaly_and_rule_alerts_coexist_without_id_collision():
+    cluster, sysprof = _sketching_pair()
+    rule = SloRule("p50(query) < 1us", fire_after=1, clear_after=1)
+    engine = DiagnosisEngine(
+        sysprof, rules=[rule], lookback=10.0, eval_interval=0.05
+    )
+    events = []
+    engine.add_listener(events.append)
+    drive_traffic(cluster, sysprof, count=250)  # rule alert stays up
+    assert engine.active and engine.alerts_fired == 1
+    # An anomaly alert on the *same* node joins the active set.
+    anomaly = engine.external_fire(
+        "anomaly:rate(sysprof.node.server.cpu_busy)", 12.5,
+        blame={"node": "server", "stage": "anomaly"},
+    )
+    assert len(engine.active) == 2
+    ids = [alert.id for alert in engine.alerts]
+    assert len(set(ids)) == len(ids) == 2
+    assert anomaly.source == "anomaly"
+    assert engine.alerts[0].source == "rule"
+    assert engine.anomaly_alerts == 1
+    # The anomaly fired against an already-drilled node: observation
+    # only, the rule's drill episode is untouched and no new one opened.
+    assert len(engine.drill_log) == 1
+    # Clearing the anomaly leaves the rule alert (same blamed node) up
+    # and drilled.
+    engine.external_clear("anomaly:rate(sysprof.node.server.cpu_busy)")
+    assert list(engine.active) == [rule.name]
+    assert sysprof.controller.drilled_nodes() == ["server"]
+    assert [e["state"] for e in events] == ["fire", "fire", "clear"]
+    # Dashboard renders both sources' describe() lines while active.
+    assert engine.stats()["anomaly_alerts"] == 1
+
+
+def test_external_fire_is_idempotent_while_active():
+    cluster, sysprof, engine = _quiet_engine()
+    first = engine.external_fire("anomaly:zscore(app.x)", 9.0)
+    second = engine.external_fire("anomaly:zscore(app.x)", 11.0)
+    assert first is second
+    assert engine.alerts_fired == 1
+    assert engine.external_clear("anomaly:zscore(app.x)") is first
+    assert engine.external_clear("anomaly:zscore(app.x)") is None
+
+
+# ---------------------------------------------------------------------------
+# live retune
+# ---------------------------------------------------------------------------
+
+
+def test_set_rules_preserves_state_of_unchanged_rules():
+    cluster, sysprof = _sketching_pair()
+    rule = SloRule("p50(query) < 1us", fire_after=1, clear_after=1)
+    engine = DiagnosisEngine(
+        sysprof, rules=[rule], lookback=10.0, eval_interval=0.05
+    )
+    drive_traffic(cluster, sysprof, count=250)
+    assert engine.active
+    kept_names = engine.set_rules(
+        ["p50(query) < 1us", "p99(query) < 999999s"]
+    )
+    assert kept_names == ["p50(query) < 1us", "p99(query) < 999999s"]
+    # The same (still-firing) rule object survived the retune.
+    assert engine.rules[0] is rule
+    assert rule.firing
+    assert engine.active
+    assert engine.retunes == 1
+
+
+def test_set_rules_resolves_alerts_of_removed_rules_and_restores():
+    cluster, sysprof = _sketching_pair()
+    rule = SloRule("p50(query) < 1us", fire_after=1, clear_after=1)
+    engine = DiagnosisEngine(
+        sysprof, rules=[rule], lookback=10.0, eval_interval=0.05
+    )
+    events = []
+    engine.add_listener(events.append)
+    drive_traffic(cluster, sysprof, count=250)
+    assert engine.active and sysprof.controller.drilled_nodes() == ["server"]
+    engine.set_rules(["p99(query) < 999999s"])
+    assert not engine.active
+    assert engine.alerts_resolved == 1
+    assert sysprof.controller.drilled_nodes() == []
+    assert [e["state"] for e in events] == ["fire", "clear"]
+    daemon = sysprof.monitor("server").daemon
+    assert daemon.eviction_interval == pytest.approx(0.05)
+
+
+def test_add_and_remove_rule():
+    cluster, sysprof, engine = _quiet_engine()
+    engine.add_rule("p95(query) < 1s")
+    assert [r.name for r in engine.rules] == [
+        "p99(query) < 999999s", "p95(query) < 1s"
+    ]
+    with pytest.raises(ValueError, match="duplicate"):
+        engine.add_rule("p95(query)  <  1s")  # normalizes to the same text
+    assert engine.remove_rule("p95(query) < 1s") is True
+    assert engine.remove_rule("p95(query) < 1s") is False
+    assert [r.name for r in engine.rules] == ["p99(query) < 999999s"]
+
+
+def test_listeners_can_be_removed():
+    cluster, sysprof, engine = _quiet_engine()
+    events = []
+    engine.add_listener(events.append)
+    engine.remove_listener(events.append)  # bound method: fresh object
+    engine._listeners.clear()
+    fn = events.append
+    engine.add_listener(fn)
+    engine.external_fire("anomaly:x(y)", 1.0)
+    engine.remove_listener(fn)
+    engine.external_clear("anomaly:x(y)")
+    assert [e["state"] for e in events] == ["fire"]
+
+
+# ---------------------------------------------------------------------------
+# dashboard staleness rows (PR 8 eviction follow-up)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def ledger():
+    from repro.observability import ledger as cpu_ledger
+
+    led = cpu_ledger.install()
+    yield led
+    cpu_ledger.uninstall()
+
+
+def test_dashboard_marks_dead_member_rows_stale(ledger):
+    cluster, sysprof = _sketching_pair()
+    DiagnosisEngine(sysprof, rules=["p99(query) < 999999s"])
+    drive_traffic(cluster, sysprof)
+    engine = sysprof.gpa.diagnosis
+    live = engine.dashboard()
+    server_rows = [
+        line for line in live.splitlines() if line.strip().startswith("server")
+    ]
+    assert server_rows and "(stale)" not in server_rows[0]
+    # The daemon dies; its ledger rows persist but telemetry stops.
+    sysprof.monitor("server").daemon.kill()
+    later = cluster.sim.now + 10.0 * sysprof.gpa.stale_threshold
+    stale_text = engine.dashboard(now=later)
+    server_rows = [
+        line for line in stale_text.splitlines()
+        if line.strip().startswith("server")
+    ]
+    assert server_rows and "(stale)" in server_rows[0]
+    # Unmonitored nodes (client, the GPA host) are never marked.
+    assert "client (stale)" not in stale_text
+    assert "mgmt (stale)" not in stale_text

@@ -1,0 +1,113 @@
+"""The ring-buffer time-series recorder over the metrics registry."""
+
+import pytest
+
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.recorder import TimeSeriesRecorder
+
+
+def build_registry(state):
+    registry = MetricsRegistry()
+    registry.counter("app.requests", fn=lambda: state["requests"])
+    registry.gauge("app.depth", fn=lambda: state["depth"])
+    registry.gauge("other.level", fn=lambda: state["level"])
+    return registry
+
+
+def test_snapshot_stamps_sample_ts():
+    registry = build_registry({"requests": 1, "depth": 2, "level": 3})
+    assert registry.last_sample_ts is None
+    snap = registry.snapshot(4.5)
+    assert snap["ts"] == 4.5
+    assert registry.last_sample_ts == 4.5
+    assert snap["metrics"]["app.requests"] == ("counter", 1)
+
+
+def test_sample_appends_points_with_scrape_ts():
+    state = {"requests": 0, "depth": 0, "level": 0}
+    recorder = TimeSeriesRecorder(build_registry(state))
+    recorder.sample(1.0)
+    state["requests"] = 5
+    recorder.sample(2.0)
+    assert recorder.series("app.requests") == [(1.0, 0), (2.0, 5)]
+    assert recorder.latest("app.depth") == (2.0, 0)
+    assert recorder.kind("app.requests") == "counter"
+    assert recorder.kind("app.depth") == "gauge"
+    assert recorder.samples == 2
+
+
+def test_include_exclude_patterns():
+    state = {"requests": 0, "depth": 0, "level": 0}
+    recorder = TimeSeriesRecorder(
+        build_registry(state), include=["app.*"], exclude=["app.depth"]
+    )
+    recorder.sample(0.0)
+    assert recorder.names() == ["app.requests"]
+    assert recorder.series("other.level") == []
+    assert recorder.names("app.*") == ["app.requests"]
+
+
+def test_ring_capacity_bounds_memory():
+    state = {"requests": 0, "depth": 0, "level": 0}
+    recorder = TimeSeriesRecorder(build_registry(state), capacity=4)
+    for tick in range(10):
+        state["requests"] = tick
+        recorder.sample(float(tick))
+    points = recorder.series("app.requests")
+    assert len(points) == 4
+    assert points[0] == (6.0, 6)
+    assert points[-1] == (9.0, 9)
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        TimeSeriesRecorder(MetricsRegistry(), capacity=1)
+
+
+def test_rate_is_per_second_derivative():
+    state = {"requests": 0, "depth": 0, "level": 0}
+    recorder = TimeSeriesRecorder(build_registry(state))
+    for tick, total in enumerate((0, 10, 30, 30)):
+        state["requests"] = total
+        recorder.sample(tick * 0.5)
+    assert recorder.rate("app.requests") == [
+        (0.5, 20.0), (1.0, 40.0), (1.5, 0.0)
+    ]
+
+
+def test_stale_flags_frozen_series_only():
+    state = {"requests": 0, "depth": 0, "level": 0}
+    recorder = TimeSeriesRecorder(build_registry(state))
+    recorder.sample(0.0)
+    for tick in range(1, 6):
+        state["depth"] = tick  # depth keeps moving; requests freezes
+        recorder.sample(float(tick))
+    stale = recorder.stale(now=5.0, threshold=2.0)
+    assert "app.requests" in stale
+    assert stale["app.requests"] == pytest.approx(5.0)
+    assert "app.depth" not in stale
+    # A frozen series that moves again stops being stale.
+    state["requests"] = 99
+    recorder.sample(6.0)
+    assert "app.requests" not in recorder.stale(now=6.0, threshold=2.0)
+
+
+def test_series_since_window_and_values():
+    state = {"requests": 0, "depth": 0, "level": 0}
+    recorder = TimeSeriesRecorder(build_registry(state))
+    for tick in range(5):
+        state["requests"] = tick * tick
+        recorder.sample(float(tick))
+    assert recorder.series("app.requests", since=3.0) == [(3.0, 9), (4.0, 16)]
+    assert recorder.values("app.requests", since=3.0) == [9, 16]
+
+
+def test_stats_counters():
+    state = {"requests": 0, "depth": 0, "level": 0}
+    recorder = TimeSeriesRecorder(build_registry(state), include=["app.*"])
+    recorder.sample(0.0)
+    recorder.sample(1.0)
+    stats = recorder.stats()
+    assert stats["samples"] == 2
+    assert stats["series"] == 2
+    assert stats["points_recorded"] == 4

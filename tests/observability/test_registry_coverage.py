@@ -36,6 +36,9 @@ REGISTERED = {
     "FaultInjector",              # sysprof.faults (self-registers)
     "repro.experiments.runner",   # sysprof.runner (module-level stats)
     "Simulator",                  # sysprof.sim (engine counters)
+    "TimeSeriesRecorder",         # sysprof.recorder (service supervisor)
+    "AnomalyMonitor",             # sysprof.anomaly (service supervisor)
+    "Supervisor",                 # sysprof.service (self-registers)
 }
 
 # Surfaced through a registered parent's stats() dict, not as their own

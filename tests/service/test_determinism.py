@@ -1,0 +1,94 @@
+"""The live-service determinism contract.
+
+A supervised run that receives no controls must be byte-identical to a
+batch run of the same scenario and seed: the supervisor's slice pumping,
+metrics scraping, time-series recording, anomaly scoring, and query
+serving are all host-side pure.  These tests pin that with the GPA trace
+digest — the same currency every other determinism suite in this repo
+uses — across slice widths and under a steady stream of read-only API
+traffic.
+"""
+
+import pytest
+
+from repro.experiments.common import trace_digest
+from repro.service import ServiceClient, Supervisor, build_scenario
+
+HORIZON = 2.0
+
+
+def _batch_digest():
+    scenario = build_scenario("nfs")
+    try:
+        scenario.cluster.run(until=HORIZON)
+        records = scenario.sysprof.gpa.query_interactions()
+        assert records, "batch baseline produced no interactions"
+        return trace_digest(records)
+    finally:
+        scenario.close()
+
+
+@pytest.fixture(scope="module")
+def batch_digest():
+    return _batch_digest()
+
+
+def _service_digest(slice_width, visit=None):
+    supervisor = Supervisor("nfs", slice_width=slice_width)
+    try:
+        while supervisor.now < HORIZON:
+            supervisor.pump(
+                width=min(slice_width, HORIZON - supervisor.now)
+            )
+            if visit is not None:
+                visit(supervisor)
+        return trace_digest(supervisor.sysprof.gpa.query_interactions())
+    finally:
+        supervisor.shutdown()
+
+
+@pytest.mark.parametrize("slice_width", [0.1, 0.25, 0.07])
+def test_uncontrolled_service_run_matches_batch(batch_digest, slice_width):
+    assert _service_digest(slice_width) == batch_digest
+
+
+def test_query_traffic_does_not_perturb_the_trace(batch_digest):
+    """Hammer the read-only API at every slice boundary — snapshots,
+    sketch merges, ledger breakdowns, dashboard renders, subscription
+    polls — and the trace still hashes identical to batch."""
+    state = {}
+
+    def visit(supervisor):
+        client = state.setdefault("client", ServiceClient(supervisor))
+        if "sub" not in state:
+            state["sub"] = client.subscribe()
+        client.ping()
+        client.status()
+        client.metrics(pattern="sysprof.node.*")
+        client.sketch("nfs-write", lookback=1.0)
+        client.ledger()
+        client.alerts()
+        client.call("rules")
+        client.call("series_names")
+        client.call("staleness")
+        client.call("dashboard")
+        client.poll(state["sub"])
+
+    assert _service_digest(0.1, visit=visit) == batch_digest
+
+
+def test_recorder_and_anomaly_sidecars_do_not_perturb(batch_digest):
+    """The sidecars themselves are part of the uncontrolled supervisor
+    (exercised above), but pin the inverse too: disabling them changes
+    nothing either — sampling is pure observation in both directions."""
+    supervisor = Supervisor("nfs", slice_width=0.1, anomaly=False)
+    try:
+        supervisor.run(HORIZON)
+        digest = trace_digest(supervisor.sysprof.gpa.query_interactions())
+    finally:
+        supervisor.shutdown()
+    assert digest == batch_digest
+
+
+def test_same_seed_service_runs_are_identical_to_each_other():
+    assert _service_digest(0.2) == _service_digest(0.2)

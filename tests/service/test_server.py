@@ -1,0 +1,115 @@
+"""The JSON socket server: wire round-trips, streaming, clean teardown."""
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.service import ServiceServer, SocketClient, Supervisor
+from repro.service.server import encode
+
+
+@pytest.fixture
+def served():
+    """A supervised synthetic scenario pumped on a background thread,
+    with the TCP server bound to an ephemeral port."""
+    supervisor = Supervisor("synthetic", slice_width=0.1)
+    server = ServiceServer(supervisor).start()
+
+    def pump_loop():
+        while not supervisor.stopping:
+            supervisor.pump()
+
+    thread = threading.Thread(target=pump_loop, daemon=True)
+    thread.start()
+    yield supervisor, server
+    supervisor.stopping = True
+    thread.join(timeout=10)
+    server.stop()
+    supervisor.scenario.close()  # idempotent; releases the CPU ledger
+
+
+def test_wire_round_trip_and_id_matching(served):
+    _supervisor, server = served
+    client = SocketClient(server.host, server.port)
+    try:
+        result = client.call("ping")
+        assert result["scenario"] == "synthetic"
+        status = client.call("status")
+        assert status["slices"] >= 0
+    finally:
+        client.close()
+
+
+def test_invalid_json_line_gets_an_error_response(served):
+    _supervisor, server = served
+    raw = socket.create_connection((server.host, server.port), timeout=10)
+    try:
+        raw.sendall(b"this is not json\n")
+        line = raw.makefile("r").readline()
+        response = json.loads(line)
+        assert response["ok"] is False
+        assert "invalid JSON" in response["error"]
+    finally:
+        raw.close()
+
+
+def test_encode_is_compact_single_line(served):
+    line = encode({"b": [1, 2], "a": "x"})
+    assert "\n" not in line
+    assert line == '{"a":"x","b":[1,2]}'
+
+
+def test_subscriber_streams_fault_driven_events(served):
+    """End to end over TCP: subscribe, stage a CPU hog, and watch the
+    anomaly detector's alert arrive as a pushed event line."""
+    supervisor, server = served
+    client = SocketClient(server.host, server.port)
+    try:
+        sub = client.call("subscribe", events=["alert", "anomaly"])
+        assert sub["sub"] >= 1
+        client.call("inject_fault", events=[{
+            "at": 0.3, "kind": "cpu_hog", "target": "n0",
+            "params": {"duration": 1.5, "utilization": 0.95},
+        }])
+        event = client.read_event(timeout=120)
+        assert event["event"] in ("alert", "anomaly")
+        assert event["data"]["state"] == "fire"
+        alert = event["data"]["alert"]
+        assert alert["rule"].startswith("anomaly:")
+        assert alert["blame"]["node"] == "n0"
+    finally:
+        client.close()
+
+
+def test_shutdown_op_stops_the_pump_loop(served):
+    supervisor, server = served
+    client = SocketClient(server.host, server.port)
+    try:
+        result = client.call("shutdown")
+        assert result["stopping"] is True
+    finally:
+        client.close()
+    assert supervisor.stopping
+
+
+def test_disconnected_subscriber_is_garbage_collected(served):
+    supervisor, server = served
+    client = SocketClient(server.host, server.port)
+    client.call("subscribe", events=["alert"])
+    client.close()
+    # Next boundary flush hits the dead socket and drops the sub.  The
+    # supervisor mutates _subs on its own thread; poll until it notices.
+    deadline = threading.Event()
+    for _ in range(200):
+        supervisor.engine.external_fire(
+            "anomaly:gc(probe)", 1.0, now=supervisor.now
+        )
+        supervisor.engine.external_clear(
+            "anomaly:gc(probe)", now=supervisor.now
+        )
+        if not supervisor._subs:
+            break
+        deadline.wait(0.05)
+    assert not supervisor._subs
